@@ -1,0 +1,52 @@
+// E1 — Proposition 4.5: the non-uniform chase admits no
+// database-independent depth bound. For the family D_n,
+// maxdepth(D_n, Σ) = n − 1 grows with the database.
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "workload/depth_family.h"
+
+namespace nuchase {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "E1 bench_depth_family (Proposition 4.5)",
+      "maxdepth(D_n, Σ) = n − 1 with |D_n| = n; no uniform bound exists");
+
+  util::Table table("Prop 4.5 depth family",
+                    {"n=|D_n|", "atoms(chase)", "maxdepth",
+                     "paper(n-1)", "match"});
+  for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    core::SymbolTable symbols;
+    workload::Workload w = workload::MakeDepthFamily(&symbols, n);
+    chase::ChaseResult result =
+        chase::RunChase(&symbols, w.tgds, w.database);
+    table.AddRow({std::to_string(n),
+                  std::to_string(result.instance.size()),
+                  std::to_string(result.stats.max_depth),
+                  std::to_string(n - 1),
+                  result.stats.max_depth == n - 1 ? "yes" : "NO"});
+  }
+  bench::PrintTable(table);
+
+  util::Table inf("companion: same Σ, critical database (Σ ∉ CT)",
+                  {"database", "outcome", "atoms@budget"});
+  core::SymbolTable symbols;
+  workload::Workload w = workload::MakeDepthFamilyInfinite(&symbols);
+  chase::ChaseOptions options;
+  options.max_atoms = 2000;
+  chase::ChaseResult result =
+      chase::RunChase(&symbols, w.tgds, w.database, options);
+  inf.AddRow({"{P(a,a,a), R(a,a)}",
+              chase::ChaseOutcomeName(result.outcome),
+              std::to_string(result.instance.size())});
+  bench::PrintTable(inf);
+}
+
+}  // namespace
+}  // namespace nuchase
+
+int main() {
+  nuchase::Run();
+  return 0;
+}

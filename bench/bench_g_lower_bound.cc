@@ -1,0 +1,64 @@
+// E8 — Theorem 8.4: a family of guarded ontologies whose chase is
+// unavoidably triple-exponential in the arity m and double-exponential
+// in the number of predicates (through n):
+//   |chase(D_ℓ, Σ_{n,m})| ≥ ℓ · 2^{2^n · (2^{2^m} − 1)}.
+// The counter tower grows so fast that only m = 1 fits in memory; the
+// point of the table is that the bound is met, and that each +1 on n
+// doubles the exponent (strata count 2^n).
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "util/table.h"
+#include "workload/lower_bounds.h"
+
+namespace nuchase {
+namespace {
+
+void Run() {
+  bench::PrintHeader("E8 bench_g_lower_bound (Theorem 8.4)",
+                     "|chase(D_ell, Sigma_{n,m})| >= "
+                     "ell * 2^(2^n * (2^(2^m) - 1)), met on the Node "
+                     "relation");
+
+  util::Table table("Theorem 8.4 family",
+                    {"ell,n,m", "|chase|", "|Node|",
+                     "bound ell*2^(2^n*(2^(2^m)-1))", "|Node|>=bound",
+                     "maxdepth", "seconds"});
+  struct P {
+    std::uint64_t ell;
+    std::uint32_t n, m;
+  };
+  for (const P& p : {P{1, 1, 1}, P{2, 1, 1}, P{4, 1, 1}, P{1, 2, 1},
+                     P{2, 2, 1}}) {
+    core::SymbolTable symbols;
+    workload::Workload w =
+        workload::MakeGuardedLowerBound(&symbols, p.ell, p.n, p.m);
+    bench::Stopwatch timer;
+    chase::ChaseOptions options;
+    options.max_atoms = 20'000'000;
+    chase::ChaseResult result =
+        chase::RunChase(&symbols, w.tgds, w.database, options);
+    double bound = workload::GuardedLowerBoundValue(p.ell, p.n, p.m);
+    auto node_pred = symbols.FindPredicate(
+        "Node_" + std::to_string(p.n) + "_" + std::to_string(p.m));
+    std::uint64_t nodes =
+        node_pred.ok()
+            ? result.instance.AtomsWithPredicate(*node_pred).size()
+            : 0;
+    table.AddRow({std::to_string(p.ell) + "," + std::to_string(p.n) +
+                      "," + std::to_string(p.m),
+                  std::to_string(result.instance.size()),
+                  std::to_string(nodes), util::FormatCount(bound),
+                  static_cast<double>(nodes) >= bound ? "yes" : "NO",
+                  std::to_string(result.stats.max_depth),
+                  timer.Formatted()});
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace nuchase
+
+int main() {
+  nuchase::Run();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E12 — Lemma 5.1: in the guarded chase forest of a valid derivation,
+// every tree's level i holds at most ||Σ||^{2·ar(Σ)·(i+1)} atoms. The
+// table chases guarded workloads with forest recording on, takes the
+// worst (root, depth) level, and compares it against the bound — the
+// measured occupancy is many orders of magnitude below it, which is
+// exactly what makes Proposition 5.2's size bound loose but linear.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "termination/bounds.h"
+#include "tgd/parser.h"
+#include "workload/lower_bounds.h"
+#include "workload/random_tgds.h"
+
+namespace nuchase {
+namespace {
+
+void AddRow(util::Table* table, const std::string& label,
+            core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+            const core::Database& db) {
+  chase::ChaseOptions options;
+  options.max_atoms = 500000;
+  options.build_forest = true;
+  chase::ChaseResult result = chase::RunChase(symbols, tgds, db, options);
+  if (!result.Terminated()) {
+    table->AddRow({label, "-", "-", "-", "-", "non-terminating"});
+    return;
+  }
+
+  // Worst occupancy over all roots and depths, with its bound.
+  std::uint64_t worst_count = 0;
+  std::uint32_t worst_depth = 0;
+  for (core::AtomIndex root : result.forest.roots()) {
+    for (const auto& [depth, count] :
+         result.forest.GtreeDepthHistogram(root)) {
+      if (count > worst_count) {
+        worst_count = count;
+        worst_depth = depth;
+      }
+    }
+  }
+  double bound =
+      termination::GtreeLevelBound(worst_depth, tgds, *symbols);
+  bool ok = static_cast<double>(worst_count) <= bound;
+  table->AddRow({label, std::to_string(result.instance.size()),
+                 std::to_string(worst_depth),
+                 std::to_string(worst_count), util::FormatCount(bound),
+                 ok ? "yes" : "NO"});
+}
+
+void Run() {
+  bench::PrintHeader(
+      "E12 bench_gtree_bound (Lemma 5.1)",
+      "per-depth guarded-forest levels obey |gtree_i| <= "
+      "||Sigma||^(2*ar(Sigma)*(i+1))");
+
+  util::Table table("guarded chase forest levels",
+                    {"workload", "|chase|", "worst depth",
+                     "|gtree_i| at worst depth", "bound", "holds"});
+
+  {
+    core::SymbolTable symbols;
+    auto p = tgd::ParseProgram(&symbols,
+                               "G(a, b). H(b).\n"
+                               "G(x, y), H(y) -> K(x, y, z).\n"
+                               "K(x, y, z) -> H(z).\n"
+                               "K(x, y, z) -> L(z, x).\n"
+                               "L(z, x) -> M(z, w).\n");
+    if (p.ok()) AddRow(&table, "hand-guarded", &symbols, p->tgds,
+                       p->database);
+  }
+  {
+    core::SymbolTable symbols;
+    workload::Workload w =
+        workload::MakeGuardedLowerBound(&symbols, 1, 1, 1);
+    AddRow(&table, "thm8.4(1,1,1)", &symbols, w.tgds, w.database);
+  }
+  {
+    core::SymbolTable symbols;
+    workload::Workload w = workload::MakeSlLowerBound(&symbols, 2, 2, 2);
+    AddRow(&table, "thm6.5(2,2,2)", &symbols, w.tgds, w.database);
+  }
+  for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+    core::SymbolTable symbols;
+    workload::RandomTgdOptions options;
+    options.seed = seed;
+    options.target = tgd::TgdClass::kGuarded;
+    workload::Workload w = workload::MakeRandomWorkload(&symbols, options);
+    AddRow(&table, "random-g-" + std::to_string(seed), &symbols, w.tgds,
+           w.database);
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace nuchase
+
+int main() {
+  nuchase::Run();
+  return 0;
+}

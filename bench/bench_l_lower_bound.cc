@@ -1,0 +1,60 @@
+// E5 — Theorem 7.6: a family of linear ontologies whose chase is
+// unavoidably double-exponential in the arity:
+// |chase(D_ℓ, Σ_{n,m})| ≥ ℓ · 2^{n·(2^m − 1)}.
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "workload/lower_bounds.h"
+
+namespace nuchase {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "E5 bench_l_lower_bound (Theorem 7.6)",
+      "|chase(D_ell, Sigma_{n,m})| >= ell * 2^(n*(2^m-1)); binary trees "
+      "driven by an exponential counter");
+
+  util::Table table("Theorem 7.6 family",
+                    {"ell,n,m", "|chase|", "|R_n|",
+                     "bound ell*2^(n(2^m-1))", "ok", "seconds"});
+  struct P {
+    std::uint64_t ell;
+    std::uint32_t n, m;
+  };
+  for (const P& p : {P{1, 1, 1}, P{1, 2, 1}, P{1, 1, 2}, P{1, 2, 2},
+                     P{2, 2, 2}, P{1, 1, 3}, P{1, 2, 3}, P{1, 1, 4},
+                     P{4, 1, 3}}) {
+    core::SymbolTable symbols;
+    workload::Workload w =
+        workload::MakeLinearLowerBound(&symbols, p.ell, p.n, p.m);
+    bench::Stopwatch timer;
+    chase::ChaseOptions options;
+    options.max_atoms = 5'000'000;
+    chase::ChaseResult result =
+        chase::RunChase(&symbols, w.tgds, w.database, options);
+    double bound = workload::LinearLowerBoundValue(p.ell, p.n, p.m);
+    auto rn = symbols.FindPredicate("R" + std::to_string(p.n) + "_" +
+                                    std::to_string(p.n) + "_" +
+                                    std::to_string(p.m));
+    std::uint64_t rn_count =
+        rn.ok() ? result.instance.AtomsWithPredicate(*rn).size() : 0;
+    table.AddRow({std::to_string(p.ell) + "," + std::to_string(p.n) +
+                      "," + std::to_string(p.m),
+                  std::to_string(result.instance.size()),
+                  std::to_string(rn_count), util::FormatCount(bound),
+                  result.Terminated() &&
+                          static_cast<double>(rn_count) >= bound
+                      ? "yes"
+                      : "NO",
+                  timer.Formatted()});
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace nuchase
+
+int main() {
+  nuchase::Run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E11 — the headline size result (Theorems 6.4 / 7.5 / 8.3, item 2):
+// whenever chase(D, Σ) is finite for Σ in SL / L / G, its size is at
+// most |D| · f_C(Σ) — LINEAR in the database, with a constant depending
+// only on the ontology. The table fixes one ontology per class, sweeps
+// |D|, and reports the measured ratio |chase| / |D|, which must stay
+// flat (and far below the worst-case factor f_C(Σ)).
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "termination/bounds.h"
+#include "tgd/classify.h"
+#include "tgd/parser.h"
+
+namespace nuchase {
+namespace {
+
+struct Scenario {
+  const char* label;
+  const char* rules;
+  // Emits the i-th seed fact into the database.
+  void (*seed)(core::SymbolTable*, core::Database*, std::uint64_t);
+};
+
+void SeedSl(core::SymbolTable* symbols, core::Database* db,
+            std::uint64_t i) {
+  (void)db->AddFact(symbols, "A",
+                    {"c" + std::to_string(i), "d" + std::to_string(i)});
+}
+
+void SeedL(core::SymbolTable* symbols, core::Database* db,
+           std::uint64_t i) {
+  (void)db->AddFact(symbols, "R",
+                    {"c" + std::to_string(i), "c" + std::to_string(i)});
+}
+
+void SeedG(core::SymbolTable* symbols, core::Database* db,
+           std::uint64_t i) {
+  (void)db->AddFact(symbols, "Emp",
+                    {"e" + std::to_string(i),
+                     "d" + std::to_string(i % 5)});
+}
+
+const Scenario kScenarios[] = {
+    {"SL", "A(x, y) -> B(y, z). B(x, y) -> C(x). C(x) -> D(x, w).",
+     SeedSl},
+    {"L",
+     "R(x, x) -> S(x, z). S(x, y) -> T(y, x). T(x, y) -> U(x).",
+     SeedL},
+    {"G",
+     "Emp(e, d) -> Dept(d). Emp(e, d), Dept(d) -> Mgr(d, m). "
+     "Mgr(d, m) -> Emp(m, d).",
+     SeedG},
+};
+
+void Run() {
+  bench::PrintHeader(
+      "E11 bench_linearity (Theorems 6.4 / 7.5 / 8.3, item 2)",
+      "|chase(D, Sigma)| <= |D| * f_C(Sigma): linear in |D| with an "
+      "ontology-only constant");
+
+  for (const Scenario& s : kScenarios) {
+    util::Table table(
+        std::string("class ") + s.label + ": " + s.rules,
+        {"|D|", "|chase|", "ratio |chase|/|D|", "maxdepth",
+         "d_C(Sigma)", "seconds"});
+    for (std::uint64_t size : {10u, 100u, 1000u, 10000u, 100000u}) {
+      core::SymbolTable symbols;
+      auto tgds = tgd::ParseTgdSet(&symbols, s.rules);
+      if (!tgds.ok()) {
+        std::fprintf(stderr, "parse: %s\n",
+                     tgds.status().ToString().c_str());
+        return;
+      }
+      core::Database db;
+      for (std::uint64_t i = 0; i < size; ++i) {
+        s.seed(&symbols, &db, i);
+      }
+      bench::Stopwatch timer;
+      chase::ChaseOptions options;
+      options.max_atoms = 10'000'000;
+      chase::ChaseResult result =
+          chase::RunChase(&symbols, *tgds, db, options);
+      char ratio[32];
+      std::snprintf(ratio, sizeof(ratio), "%.3f",
+                    static_cast<double>(result.instance.size()) /
+                        static_cast<double>(db.size()));
+      table.AddRow(
+          {std::to_string(db.size()),
+           std::to_string(result.instance.size()), ratio,
+           std::to_string(result.stats.max_depth),
+           util::FormatCount(termination::DepthBound(
+               tgd::Classify(*tgds), *tgds, symbols)),
+           timer.Formatted()});
+    }
+    bench::PrintTable(table);
+  }
+}
+
+}  // namespace
+}  // namespace nuchase
+
+int main() {
+  nuchase::Run();
+  return 0;
+}

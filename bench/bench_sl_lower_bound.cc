@@ -1,0 +1,57 @@
+// E2 — Theorem 6.5: a family of SL ontologies whose chase is
+// unavoidably exponential in the arity m and the number of predicates
+// n+1: |chase(D_ℓ, Σ_{n,m})| ≥ ℓ · m^{n·m}.
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "util/table.h"
+#include "workload/lower_bounds.h"
+
+namespace nuchase {
+namespace {
+
+void Run() {
+  bench::PrintHeader("E2 bench_sl_lower_bound (Theorem 6.5)",
+                     "|chase(D_ell, Sigma_{n,m})| >= ell * m^(n*m), "
+                     "met with equality on the R_n relation");
+
+  util::Table table("Theorem 6.5 family",
+                    {"ell,n,m", "|chase|", "|R_n|", "bound ell*m^(n*m)",
+                     "|R_n|>=bound", "seconds"});
+  struct P {
+    std::uint64_t ell;
+    std::uint32_t n, m;
+  };
+  for (const P& p : {P{1, 1, 2}, P{1, 2, 2}, P{1, 3, 2}, P{2, 2, 2},
+                     P{4, 2, 2}, P{1, 1, 3}, P{1, 2, 3}, P{1, 1, 4},
+                     P{8, 1, 3}}) {
+    core::SymbolTable symbols;
+    workload::Workload w =
+        workload::MakeSlLowerBound(&symbols, p.ell, p.n, p.m);
+    bench::Stopwatch timer;
+    chase::ChaseOptions options;
+    options.max_atoms = 5'000'000;
+    chase::ChaseResult result =
+        chase::RunChase(&symbols, w.tgds, w.database, options);
+    double bound = workload::SlLowerBoundValue(p.ell, p.n, p.m);
+    auto rn = symbols.FindPredicate("R" + std::to_string(p.n) + "_" +
+                                    std::to_string(p.n) + "_" +
+                                    std::to_string(p.m));
+    std::uint64_t rn_count =
+        rn.ok() ? result.instance.AtomsWithPredicate(*rn).size() : 0;
+    table.AddRow({std::to_string(p.ell) + "," + std::to_string(p.n) +
+                      "," + std::to_string(p.m),
+                  std::to_string(result.instance.size()),
+                  std::to_string(rn_count), util::FormatCount(bound),
+                  static_cast<double>(rn_count) >= bound ? "yes" : "NO",
+                  timer.Formatted()});
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace nuchase
+
+int main() {
+  nuchase::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E3 — Theorem 6.4 + Lemma 6.2: for Σ ∈ SL, Σ ∈ CT_D iff Σ is
+// D-weakly-acyclic; then |chase(D,Σ)| ≤ |D| · f_SL(Σ) and
+// maxdepth(D,Σ) ≤ d_SL(Σ).
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "termination/bounds.h"
+#include "termination/syntactic_decider.h"
+#include "workload/depth_family.h"
+#include "workload/lower_bounds.h"
+#include "workload/random_tgds.h"
+
+namespace nuchase {
+namespace {
+
+void AddRow(util::Table* table, const std::string& label,
+            core::SymbolTable* symbols, const workload::Workload& w) {
+  auto decision =
+      termination::DecideSimpleLinear(symbols, w.tgds, w.database);
+  if (!decision.ok()) return;
+  bool wa = decision->decision == termination::Decision::kTerminates;
+
+  double depth_bound = termination::DepthBoundSL(w.tgds, *symbols);
+  chase::ChaseOptions options;
+  options.max_atoms = 2'000'000;
+  // Lemma 6.2 makes the depth bound a termination certificate: cut the
+  // chase as soon as it is exceeded instead of materializing millions of
+  // atoms.
+  options.max_depth = static_cast<std::uint32_t>(depth_bound);
+  chase::ChaseResult result =
+      chase::RunChase(symbols, w.tgds, w.database, options);
+  double size_bound = static_cast<double>(w.database.size()) *
+                      termination::SizeFactorSL(w.tgds, *symbols);
+  bool ok = result.Terminated() == wa &&
+            (!result.Terminated() ||
+             (result.stats.max_depth <= depth_bound &&
+              static_cast<double>(result.instance.size()) <= size_bound));
+  table->AddRow({label, wa ? "WA" : "not-WA",
+                 result.Terminated() ? "finite" : "infinite",
+                 std::to_string(result.instance.size()),
+                 util::FormatCount(size_bound),
+                 std::to_string(result.stats.max_depth),
+                 util::FormatCount(depth_bound), ok ? "yes" : "NO"});
+}
+
+void Run() {
+  bench::PrintHeader(
+      "E3 bench_sl_size_bound (Theorem 6.4, Lemma 6.2)",
+      "WA(D) <=> finite; |chase| <= |D|*f_SL(Sigma); "
+      "maxdepth <= d_SL(Sigma)");
+
+  util::Table table("Theorem 6.4 characterization",
+                    {"workload", "syntactic", "chase", "|chase|",
+                     "|D|*f_SL", "maxdepth", "d_SL", "consistent"});
+
+  {
+    core::SymbolTable symbols;
+    workload::Workload w = workload::MakeSlLowerBound(&symbols, 2, 2, 2);
+    AddRow(&table, "thm6.5(2,2,2)", &symbols, w);
+  }
+  {
+    core::SymbolTable symbols;
+    workload::Workload w = workload::MakeSlLowerBound(&symbols, 1, 2, 3);
+    AddRow(&table, "thm6.5(1,2,3)", &symbols, w);
+  }
+  {
+    core::SymbolTable symbols;
+    workload::Workload w = workload::MakeInfinitePath(&symbols);
+    AddRow(&table, "infinite-path", &symbols, w);
+  }
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    core::SymbolTable symbols;
+    workload::RandomTgdOptions options;
+    options.seed = seed;
+    options.target = tgd::TgdClass::kSimpleLinear;
+    workload::Workload w =
+        workload::MakeRandomWorkload(&symbols, options);
+    AddRow(&table, "random-sl-" + std::to_string(seed), &symbols, w);
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace nuchase
+
+int main() {
+  nuchase::Run();
+  return 0;
+}

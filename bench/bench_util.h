@@ -1,0 +1,52 @@
+#ifndef NUCHASE_BENCH_BENCH_UTIL_H_
+#define NUCHASE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+
+namespace nuchase {
+namespace bench {
+
+/// Wall-clock stopwatch for the decision-procedure comparisons.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  std::string Formatted() const {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", Seconds());
+    return buf;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", s);
+  return buf;
+}
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::cout << "\n### " << experiment << "\n";
+  std::cout << "paper claim: " << claim << "\n\n";
+}
+
+inline void PrintTable(const util::Table& table) {
+  std::cout << table.ToString() << "\n";
+}
+
+}  // namespace bench
+}  // namespace nuchase
+
+#endif  // NUCHASE_BENCH_BENCH_UTIL_H_

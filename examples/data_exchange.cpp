@@ -1,0 +1,82 @@
+// Data exchange with the semi-oblivious chase.
+//
+// The chase was repurposed by Fagin et al. [14] to compute *universal
+// solutions* for data-exchange settings: given a source database and
+// source-to-target TGDs, chase the source and the result embeds
+// homomorphically into every valid target instance. Weak-acyclicity is
+// the classic uniform guarantee; this example contrasts it with the
+// paper's non-uniform check, which certifies individual source instances
+// even when the mapping is not uniformly terminating.
+//
+//   ./build/examples/data_exchange
+#include <iostream>
+
+#include "chase/chase.h"
+#include "graph/weak_acyclicity.h"
+#include "termination/syntactic_decider.h"
+#include "tgd/parser.h"
+
+using namespace nuchase;
+
+int main() {
+  core::SymbolTable symbols;
+
+  // Source schema: Route(from, to), Hub(city).
+  // Target schema: Flight(from, to, carrier), Serves(carrier, city).
+  // The last mapping rule is recursive on the target: every partner city
+  // has a further partner — this makes the mapping NOT uniformly
+  // weakly-acyclic (the Partner self-cycle goes through an existential).
+  const char* mapping_text =
+      "Route(x, y) -> Flight(x, y, c), Serves(c, x).\n"
+      "Hub(x), Route(x, y) -> Serves(c, x).\n"
+      "Partner(u, v) -> Partner(v, w).\n";
+
+  const char* source_text =
+      "Route(edi, lhr).\n"
+      "Route(lhr, jfk).\n"
+      "Hub(lhr).\n";
+
+  auto program =
+      tgd::ParseProgram(&symbols, std::string(mapping_text) + source_text);
+  if (!program.ok()) {
+    std::cerr << program.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Uniform check (Fagin et al.): rejected — there is a special cycle.
+  bool uniform =
+      graph::IsUniformlyWeaklyAcyclic(program->tgds, symbols);
+  std::cout << "uniformly weakly-acyclic: " << (uniform ? "yes" : "no")
+            << "  (classic data-exchange tools would refuse this mapping)\n";
+
+  // Non-uniform check (Definition 6.1): this source never touches
+  // Partner, so the special cycle is not D-supported and the chase is
+  // guaranteed finite for THIS source.
+  graph::WeakAcyclicityResult wa = graph::CheckWeakAcyclicity(
+      program->tgds, program->database, symbols);
+  std::cout << "weakly-acyclic w.r.t. this source: "
+            << (wa.weakly_acyclic ? "yes" : "no") << "\n\n";
+
+  // Compute the universal solution.
+  chase::ChaseResult solution =
+      chase::RunChase(&symbols, program->tgds, program->database);
+  std::cout << "universal solution (" << solution.instance.size()
+            << " atoms, outcome "
+            << chase::ChaseOutcomeName(solution.outcome) << "):\n"
+            << solution.instance.ToSortedString(symbols) << "\n";
+
+  // A poisoned source: one Partner fact supports the special cycle, and
+  // the same mapping must now be rejected — before wasting any chase
+  // work. (The paper's point: termination is a property of the *pair*
+  // (D, Sigma).)
+  core::SymbolTable symbols2;
+  auto poisoned = tgd::ParseProgram(
+      &symbols2, std::string(mapping_text) + source_text +
+                     "Partner(lhr, ams).\n");
+  graph::WeakAcyclicityResult wa2 = graph::CheckWeakAcyclicity(
+      poisoned->tgds, poisoned->database, symbols2);
+  std::cout << "with Partner(lhr, ams) added, weakly-acyclic: "
+            << (wa2.weakly_acyclic ? "yes" : "no")
+            << " -> reject materialization, no chase attempted\n";
+  return 0;
+}

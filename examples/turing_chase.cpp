@@ -1,0 +1,83 @@
+// A Turing machine inside the chase — Appendix A's undecidability gadget.
+//
+// ChTrm(TGD) is undecidable even in data complexity: there is one FIXED
+// constant-free set of TGDs Sigma* such that, with D_M encoding a
+// deterministic machine M's transition table and initial configuration,
+// chase(D_M, Sigma*) is finite iff M halts on the empty input
+// (Proposition 4.2). This example materializes the construction: it runs
+// machines both directly and through the chase, and shows the two
+// agreeing step for step.
+//
+//   ./build/examples/turing_chase
+#include <cstdio>
+#include <iostream>
+
+#include "chase/chase.h"
+#include "tgd/classify.h"
+#include "workload/turing.h"
+
+using namespace nuchase;
+
+namespace {
+
+void RunMachine(const char* label, const workload::TuringMachine& tm,
+                std::uint64_t atom_budget) {
+  core::SymbolTable symbols;
+  workload::Workload w =
+      workload::MakeTuringWorkload(&symbols, tm, label);
+
+  std::optional<std::uint64_t> steps = workload::SimulateTm(tm, 10'000);
+  std::cout << "--- " << label << " ---\n";
+  std::cout << "direct simulation: "
+            << (steps ? "halts after " + std::to_string(*steps) + " steps"
+                      : "still running after 10000 steps")
+            << "\n";
+
+  chase::ChaseOptions options;
+  options.max_atoms = atom_budget;
+  chase::ChaseResult r =
+      chase::RunChase(&symbols, w.tgds, w.database, options);
+  std::cout << "chase(D_M, Sigma*): "
+            << chase::ChaseOutcomeName(r.outcome) << " with "
+            << r.instance.size() << " atoms (|D_M| = "
+            << w.database.size() << ", budget " << atom_budget << ")\n";
+  if (steps && r.Terminated()) {
+    std::cout << "  -> agreement: halting machine, finite chase\n";
+  } else if (!steps && !r.Terminated()) {
+    std::cout << "  -> agreement: looping machine, chase exceeds any "
+                 "budget\n";
+  } else {
+    std::cout << "  -> MISMATCH (budget too small?)\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  core::SymbolTable symbols;
+  tgd::TgdSet sigma_star = workload::MakeTuringTgds(&symbols);
+  std::cout << "Sigma* is a fixed set of " << sigma_star.size()
+            << " constant-free TGDs (class "
+            << tgd::TgdClassName(tgd::Classify(sigma_star))
+            << " -- far from guarded, as Proposition 4.2 requires):\n"
+            << sigma_star.ToString(symbols) << "\n";
+
+  RunMachine("writer-3 (writes 3 marks, halts)",
+             workload::MakeHaltingTm(3), 200'000);
+  RunMachine("writer-6 (writes 6 marks, halts)",
+             workload::MakeHaltingTm(6), 400'000);
+  RunMachine("zig-zag (halts after revisiting)",
+             workload::MakeZigZagTm(), 200'000);
+  RunMachine("right-walker (never halts)",
+             workload::MakeLoopingTm(), 100'000);
+  RunMachine("spinner (never halts)",
+             workload::MakeSpinningTm(), 100'000);
+
+  std::cout << "Because one fixed Sigma* separates halting from looping\n"
+               "machines through the *database alone*, no computable\n"
+               "function of D can bound |chase(D, Sigma*)| (Prop. 4.2) --\n"
+               "the guarded classes' |D|-linear bounds are a real\n"
+               "structural property, not a generic fact about TGDs.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// University OBDA at scale — a realistic end-to-end walkthrough.
+//
+// A registrar database stores raw Reg(student, course, dept) records and
+// staff lists; an EL-style guarded ontology derives enrollment, advising
+// and teaching roles, inventing witnesses (advisors, taught courses)
+// where the data is incomplete. The walkthrough: check termination
+// syntactically, materialize, answer certain-answer queries, and show
+// the same ontology rejected the moment the thesis-review rule meets a
+// database that feeds it.
+//
+//   ./build/examples/university
+#include <cstdio>
+#include <iostream>
+
+#include "chase/chase.h"
+#include "query/certain.h"
+#include "termination/advisor.h"
+#include "workload/university.h"
+
+using namespace nuchase;
+
+int main() {
+  // --- A mid-size university ------------------------------------------
+  core::SymbolTable symbols;
+  workload::UniversityOptions options;
+  options.departments = 6;
+  options.professors_per_department = 8;
+  options.students_per_department = 120;
+  options.courses_per_department = 12;
+  workload::Workload uni =
+      workload::MakeUniversityWorkload(&symbols, options);
+
+  std::cout << "ontology: " << uni.tgds.size() << " guarded TGDs; data: "
+            << uni.database.size() << " facts\n";
+
+  auto report = termination::Advise(&symbols, uni.tgds, uni.database);
+  if (!report.ok()) {
+    std::cerr << report.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "advisor: " << termination::DecisionName(report->decision)
+            << " via " << report->method << "\n";
+  if (!report->materialization.has_value()) return 1;
+  const chase::ChaseResult& m = *report->materialization;
+  std::printf("materialized %zu atoms from %zu facts (x%.2f), "
+              "maxdepth %u\n\n",
+              m.instance.size(), uni.database.size(),
+              static_cast<double>(m.instance.size()) /
+                  static_cast<double>(uni.database.size()),
+              m.stats.max_depth);
+
+  // --- Certain answers over the enriched data --------------------------
+  // "Which students certainly have an advisor?" — HasAdvisor is never
+  // stored; it follows from Student via an invented advisor.
+  {
+    core::Term s = symbols.InternVariable("qs");
+    auto has_advisor = symbols.FindPredicate("HasAdvisor");
+    query::AnswerQuery q{{core::Atom(*has_advisor, {s})}, {s}};
+    auto answers =
+        query::CertainAnswers(&symbols, uni.tgds, uni.database, q);
+    if (answers.ok()) {
+      std::cout << "students with a (certain) advisor: "
+                << answers->size() << "\n";
+    }
+  }
+  // "Which courses are certainly taught by someone?" — mixes stored
+  // teaching with invented witnesses for enrolled-but-unstaffed courses.
+  {
+    core::Term c = symbols.InternVariable("qc");
+    core::Term p = symbols.InternVariable("qp");
+    auto taught_by = symbols.FindPredicate("TaughtBy");
+    query::AnswerQuery q{{core::Atom(*taught_by, {c, p})}, {c}};
+    auto answers =
+        query::CertainAnswers(&symbols, uni.tgds, uni.database, q);
+    if (answers.ok()) {
+      std::cout << "courses certainly taught by someone: "
+                << answers->size() << "\n\n";
+    }
+  }
+
+  // --- The non-uniform boundary ----------------------------------------
+  // Add the thesis-review rule. With no UnderReview facts the SAME
+  // ontology still terminates on this data; with one seed it must be
+  // rejected — and the advisor proves it without chasing.
+  for (std::uint32_t seeds : {0u, 1u}) {
+    core::SymbolTable symbols2;
+    workload::UniversityOptions risky = options;
+    risky.include_review_rule = true;
+    risky.under_review = seeds;
+    workload::Workload w =
+        workload::MakeUniversityWorkload(&symbols2, risky);
+    termination::AdvisorOptions aopt;
+    aopt.materialize = false;
+    auto r = termination::Advise(&symbols2, w.tgds, w.database, aopt);
+    std::cout << "with review rule, " << seeds
+              << " UnderReview fact(s): "
+              << (r.ok() ? termination::DecisionName(r->decision)
+                         : r.status().ToString())
+              << "\n";
+  }
+  return 0;
+}

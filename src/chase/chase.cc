@@ -1,0 +1,230 @@
+#include "chase/chase.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "chase/null_store.h"
+#include "chase/trigger.h"
+#include "util/hash.h"
+
+namespace nuchase {
+namespace chase {
+
+using core::Atom;
+using core::AtomIndex;
+using core::Instance;
+using core::Term;
+
+const char* ChaseVariantName(ChaseVariant variant) {
+  switch (variant) {
+    case ChaseVariant::kSemiOblivious:
+      return "semi-oblivious";
+    case ChaseVariant::kOblivious:
+      return "oblivious";
+    case ChaseVariant::kRestricted:
+      return "restricted";
+  }
+  return "?";
+}
+
+const char* ChaseOutcomeName(ChaseOutcome outcome) {
+  switch (outcome) {
+    case ChaseOutcome::kTerminated:
+      return "terminated";
+    case ChaseOutcome::kAtomLimit:
+      return "atom-limit";
+    case ChaseOutcome::kDepthLimit:
+      return "depth-limit";
+    case ChaseOutcome::kRoundLimit:
+      return "round-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A collected, not-yet-applied trigger: the TGD index, the frontier
+/// images (in sorted-frontier order), the full body-variable images (in
+/// sorted-body-variable order; only kept by the oblivious variant, which
+/// names nulls by them), and the instance index of the guard image
+/// (kNoGuard when the TGD is not guarded).
+struct PendingTrigger {
+  std::uint32_t tgd_index;
+  std::vector<Term> frontier_images;
+  std::vector<Term> body_images;
+  AtomIndex guard_image;
+
+  static constexpr AtomIndex kNoGuard = 0xffffffffu;
+};
+
+}  // namespace
+
+ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+                     const core::Database& db,
+                     const ChaseOptions& options) {
+  ChaseResult result;
+  Instance& instance = result.instance;
+  NullStore nulls(symbols);
+  std::unordered_set<std::vector<std::uint32_t>,
+                     util::VectorHash<std::uint32_t>>
+      fired;
+
+  result.stats.database_atoms = db.size();
+  for (const Atom& fact : db.facts()) {
+    auto [idx, fresh] = instance.Insert(fact);
+    if (fresh && options.build_forest) result.forest.AddRoot(idx);
+  }
+
+  std::size_t delta_begin = 0;
+  std::size_t delta_end = instance.size();
+  std::vector<PendingTrigger> pending;
+
+  while (delta_begin < delta_end) {
+    if (options.max_rounds != 0 &&
+        result.stats.rounds >= options.max_rounds) {
+      result.outcome = ChaseOutcome::kRoundLimit;
+      return result;
+    }
+    ++result.stats.rounds;
+
+    for (std::uint32_t ti = 0; ti < tgds.size(); ++ti) {
+      const tgd::Tgd& rule = tgds.tgd(ti);
+      const std::vector<Term>& frontier = rule.frontier();
+
+      // Collect phase: enumerate homomorphisms with at least one body atom
+      // in the delta window; do not touch the instance while its index
+      // vectors are being iterated.
+      pending.clear();
+      HomomorphismFinder finder(instance, options.use_position_index);
+      for (std::size_t seed_pos = 0; seed_pos < rule.body().size();
+           ++seed_pos) {
+        core::PredicateId seed_pred = rule.body()[seed_pos].predicate;
+        for (std::size_t a = delta_begin; a < delta_end; ++a) {
+          if (instance.atom(static_cast<AtomIndex>(a)).predicate !=
+              seed_pred) {
+            continue;
+          }
+          finder.Enumerate(
+              rule.body(), Substitution{}, static_cast<int>(seed_pos),
+              static_cast<AtomIndex>(a), [&](const Substitution& h) {
+                // Dedup key: (σ, h|fr(σ)) for the semi-oblivious and
+                // restricted variants (both result and head-satisfaction
+                // depend only on the frontier restriction), (σ, h) for
+                // the oblivious one.
+                PendingTrigger trig;
+                trig.tgd_index = ti;
+                trig.frontier_images.reserve(frontier.size());
+                for (Term v : frontier) {
+                  trig.frontier_images.push_back(h.at(v));
+                }
+                std::vector<std::uint32_t> key;
+                key.push_back(ti);
+                if (options.variant == ChaseVariant::kOblivious) {
+                  const std::vector<Term>& body_vars =
+                      rule.body_variables();
+                  trig.body_images.reserve(body_vars.size());
+                  for (Term v : body_vars) {
+                    Term image = h.at(v);
+                    key.push_back(image.bits());
+                    trig.body_images.push_back(image);
+                  }
+                } else {
+                  for (Term image : trig.frontier_images) {
+                    key.push_back(image.bits());
+                  }
+                }
+                if (!fired.insert(std::move(key)).second) return true;
+                trig.guard_image = PendingTrigger::kNoGuard;
+                if (rule.IsGuarded()) {
+                  Atom guard_image = ApplySubstitution(rule.guard(), h);
+                  AtomIndex gi = 0;
+                  if (instance.Find(guard_image, &gi)) {
+                    trig.guard_image = gi;
+                  }
+                }
+                pending.push_back(std::move(trig));
+                return true;
+              });
+        }
+      }
+
+      // Apply phase.
+      for (const PendingTrigger& trig : pending) {
+        // Bind frontier variables.
+        Substitution h;
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+          h.emplace(frontier[i], trig.frontier_images[i]);
+        }
+        // Restricted chase: the trigger is applied only if no extension
+        // h' ⊇ h|fr(σ) already maps head(σ) into the instance. The check
+        // runs against the *current* instance, so atoms added earlier in
+        // this very round already count; once satisfied, monotonicity
+        // keeps the trigger satisfied forever, so the `fired` entry can
+        // stand.
+        if (options.variant == ChaseVariant::kRestricted) {
+          HomomorphismFinder head_finder(instance);
+          bool satisfied = false;
+          head_finder.Enumerate(rule.head(), h, /*seed_atom=*/-1,
+                                /*seed_target=*/0,
+                                [&](const Substitution&) {
+                                  satisfied = true;
+                                  return false;  // stop at the first
+                                });
+          if (satisfied) {
+            ++result.stats.triggers_satisfied;
+            continue;
+          }
+        }
+        ++result.stats.triggers_fired;
+        // Invent nulls for the existential variables.
+        for (Term z : rule.existential()) {
+          Term null =
+              options.variant == ChaseVariant::kOblivious
+                  ? nulls.GetOrCreate(ti, z, trig.body_images,
+                                      trig.frontier_images)
+                  : nulls.GetOrCreate(ti, z, trig.frontier_images);
+          std::uint32_t d = symbols->depth(null);
+          result.stats.max_depth = std::max(result.stats.max_depth, d);
+          if (options.max_depth != 0 && d > options.max_depth) {
+            result.outcome = ChaseOutcome::kDepthLimit;
+            return result;
+          }
+          h.emplace(z, null);
+        }
+        for (const Atom& head_atom : rule.head()) {
+          Atom derived = ApplySubstitution(head_atom, h);
+          auto [idx, fresh] = instance.Insert(std::move(derived));
+          if (fresh && options.build_forest) {
+            std::uint32_t atom_depth = 0;
+            for (Term t : instance.atom(idx).args) {
+              atom_depth = std::max(atom_depth, symbols->depth(t));
+            }
+            if (trig.guard_image == PendingTrigger::kNoGuard) {
+              result.forest.AddFloating(idx, atom_depth);
+            } else {
+              result.forest.AddChild(idx, trig.guard_image, atom_depth);
+            }
+          }
+          if (instance.size() > options.max_atoms) {
+            result.outcome = ChaseOutcome::kAtomLimit;
+            return result;
+          }
+        }
+      }
+    }
+
+    delta_begin = delta_end;
+    delta_end = instance.size();
+  }
+
+  result.outcome = ChaseOutcome::kTerminated;
+  return result;
+}
+
+ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+                     const core::Database& db) {
+  return RunChase(symbols, tgds, db, ChaseOptions{});
+}
+
+}  // namespace chase
+}  // namespace nuchase

@@ -1,0 +1,112 @@
+#ifndef NUCHASE_CHASE_CHASE_H_
+#define NUCHASE_CHASE_CHASE_H_
+
+#include <cstdint>
+
+#include "chase/forest.h"
+#include "core/database.h"
+#include "core/instance.h"
+#include "core/symbol_table.h"
+#include "tgd/tgd.h"
+
+namespace nuchase {
+namespace chase {
+
+/// Which chase procedure to run. The paper studies the semi-oblivious
+/// version (Definition 3.1); the other two are provided for comparison —
+/// they bracket it: every oblivious-terminating pair is semi-oblivious-
+/// terminating, and every semi-oblivious-terminating pair is restricted-
+/// terminating (CT_obl ⊆ CT_so ⊆ CT_res pointwise in D), and the
+/// materialized sizes shrink in the same direction.
+enum class ChaseVariant {
+  /// Definition 3.1: nulls named ⊥^z_{σ, h|fr(σ)}; each (σ, h|fr(σ))
+  /// fires at most once. Unique result [20]; the RDBMS-friendly chase
+  /// of [6].
+  kSemiOblivious,
+  /// Nulls named ⊥^z_{σ, h}: each (σ, h) fires once, even when two
+  /// homomorphisms agree only on the frontier. Produces a superset of
+  /// the semi-oblivious result (up to null renaming).
+  kOblivious,
+  /// The standard chase: (σ, h) fires only if no extension h' ⊇ h|fr(σ)
+  /// already maps head(σ) into the instance. Result depends on the
+  /// firing order (ours: round-based, TGDs in Σ-order); the
+  /// RAM-friendly chase of [6, 21].
+  kRestricted,
+};
+
+const char* ChaseVariantName(ChaseVariant variant);
+
+/// Budgets and switches for a chase run. The semi-oblivious chase of a
+/// non-terminating pair (D, Σ) is infinite, so every run is bounded by at
+/// least the atom budget; deciders additionally use the depth budget
+/// (Lemmas 6.2 / 7.4 / 8.2 make exceeding d_C(Σ) a proof of
+/// non-termination for the guarded classes).
+struct ChaseOptions {
+  /// Which chase procedure to run.
+  ChaseVariant variant = ChaseVariant::kSemiOblivious;
+  /// Stop (outcome kAtomLimit) once the instance holds more atoms.
+  std::uint64_t max_atoms = 10'000'000;
+  /// If nonzero, stop (outcome kDepthLimit) once a null of depth greater
+  /// than this is created.
+  std::uint32_t max_depth = 0;
+  /// If nonzero, stop (outcome kRoundLimit) after this many breadth-first
+  /// rounds.
+  std::uint64_t max_rounds = 0;
+  /// Record the guarded chase forest (Section 5). Requires every fired
+  /// trigger's TGD to be guarded; non-guarded TGDs get no parent edge.
+  bool build_forest = false;
+  /// Ablation switch: when false, trigger search joins through the
+  /// per-predicate lists only (no (predicate, position, term) index).
+  /// Results are identical; only performance differs.
+  bool use_position_index = true;
+};
+
+/// Why a chase run stopped.
+enum class ChaseOutcome {
+  kTerminated,  ///< No active trigger remains: the result is chase(D,Σ).
+  kAtomLimit,   ///< Atom budget exhausted (instance is a chase prefix).
+  kDepthLimit,  ///< A term of depth > max_depth appeared.
+  kRoundLimit,  ///< Round budget exhausted.
+};
+
+const char* ChaseOutcomeName(ChaseOutcome outcome);
+
+/// Counters describing a chase run.
+struct ChaseStats {
+  std::uint64_t triggers_fired = 0;  ///< Distinct (σ, h|fr(σ)) applied.
+  /// Restricted chase only: triggers whose head was already satisfied
+  /// (not active in the Definition 3.1 sense) and therefore skipped.
+  std::uint64_t triggers_satisfied = 0;
+  std::uint64_t rounds = 0;          ///< Breadth-first rounds executed.
+  std::uint32_t max_depth = 0;       ///< maxdepth over all created terms.
+  std::uint64_t database_atoms = 0;  ///< |D|.
+};
+
+/// The result of a chase run: the constructed instance (equal to
+/// chase(D,Σ) iff outcome is kTerminated), statistics, and optionally the
+/// guarded chase forest.
+struct ChaseResult {
+  ChaseOutcome outcome = ChaseOutcome::kTerminated;
+  core::Instance instance;
+  ChaseStats stats;
+  Forest forest;
+
+  bool Terminated() const { return outcome == ChaseOutcome::kTerminated; }
+};
+
+/// Runs the semi-oblivious chase of D w.r.t. Σ (Definition 3.2) with a
+/// fair, breadth-first strategy. Because semi-oblivious null names are
+/// functional in (σ, h|fr(σ)), every valid derivation has the same result
+/// [20], which this function computes whenever it terminates within the
+/// budgets.
+ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+                     const core::Database& db, const ChaseOptions& options);
+
+/// RunChase with default options.
+ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+                     const core::Database& db);
+
+}  // namespace chase
+}  // namespace nuchase
+
+#endif  // NUCHASE_CHASE_CHASE_H_

@@ -1,0 +1,50 @@
+#include "chase/forest.h"
+
+#include <cassert>
+
+namespace nuchase {
+namespace chase {
+
+void Forest::AddRoot([[maybe_unused]] core::AtomIndex atom) {
+  assert(atom == parent_.size());
+  parent_.push_back(kNoParent);
+  root_.push_back(atom);
+  depth_.push_back(0);
+  roots_.push_back(atom);
+}
+
+void Forest::AddChild([[maybe_unused]] core::AtomIndex atom, core::AtomIndex parent,
+                      std::uint32_t depth) {
+  assert(atom == parent_.size());
+  assert(parent < parent_.size());
+  parent_.push_back(parent);
+  root_.push_back(root_[parent]);
+  depth_.push_back(depth);
+}
+
+void Forest::AddFloating([[maybe_unused]] core::AtomIndex atom, std::uint32_t depth) {
+  assert(atom == parent_.size());
+  parent_.push_back(kNoParent);
+  root_.push_back(atom);
+  depth_.push_back(depth);
+}
+
+std::map<std::uint32_t, std::uint64_t> Forest::GtreeDepthHistogram(
+    core::AtomIndex root) const {
+  std::map<std::uint32_t, std::uint64_t> hist;
+  for (core::AtomIndex a = 0; a < root_.size(); ++a) {
+    if (root_[a] == root) ++hist[depth_[a]];
+  }
+  return hist;
+}
+
+std::uint64_t Forest::GtreeSize(core::AtomIndex root) const {
+  std::uint64_t n = 0;
+  for (core::AtomIndex a = 0; a < root_.size(); ++a) {
+    if (root_[a] == root) ++n;
+  }
+  return n;
+}
+
+}  // namespace chase
+}  // namespace nuchase

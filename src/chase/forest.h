@@ -1,0 +1,67 @@
+#ifndef NUCHASE_CHASE_FOREST_H_
+#define NUCHASE_CHASE_FOREST_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace nuchase {
+namespace chase {
+
+/// The guarded chase forest gforest(δ) of a derivation (Section 5): every
+/// atom produced by a trigger (σ, h) is a child of the guard image
+/// h(guard(σ)); database atoms are roots. The forest also records atom
+/// depths (max term depth), enabling direct validation of Lemma 5.1.
+class Forest {
+ public:
+  static constexpr core::AtomIndex kNoParent = 0xffffffffu;
+
+  Forest() = default;
+
+  /// Registers a root (database) atom. Must be called in atom-index order.
+  void AddRoot(core::AtomIndex atom);
+
+  /// Registers a derived atom with its guard parent and depth.
+  void AddChild(core::AtomIndex atom, core::AtomIndex parent,
+                std::uint32_t depth);
+
+  /// Registers a derived atom with no guard parent (produced by a
+  /// non-guarded TGD); it forms its own degenerate tree but is not listed
+  /// among the database roots.
+  void AddFloating(core::AtomIndex atom, std::uint32_t depth);
+
+  bool empty() const { return parent_.empty(); }
+  std::size_t size() const { return parent_.size(); }
+
+  core::AtomIndex parent(core::AtomIndex atom) const {
+    return parent_[atom];
+  }
+  /// The database atom at the root of the tree containing `atom`.
+  core::AtomIndex root(core::AtomIndex atom) const { return root_[atom]; }
+  /// depth(α): the maximum depth over the terms of the atom.
+  std::uint32_t depth(core::AtomIndex atom) const { return depth_[atom]; }
+
+  /// All root atom indexes.
+  const std::vector<core::AtomIndex>& roots() const { return roots_; }
+
+  /// |gtree_i(δ, α)| for every i, for the tree rooted at `root`:
+  /// result[i] = number of atoms of depth i in gtree(δ, root).
+  std::map<std::uint32_t, std::uint64_t> GtreeDepthHistogram(
+      core::AtomIndex root) const;
+
+  /// |gtree(δ, α)|: total number of atoms in the tree rooted at `root`.
+  std::uint64_t GtreeSize(core::AtomIndex root) const;
+
+ private:
+  std::vector<core::AtomIndex> parent_;
+  std::vector<core::AtomIndex> root_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<core::AtomIndex> roots_;
+};
+
+}  // namespace chase
+}  // namespace nuchase
+
+#endif  // NUCHASE_CHASE_FOREST_H_

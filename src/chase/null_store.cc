@@ -1,0 +1,38 @@
+#include "chase/null_store.h"
+
+#include <algorithm>
+
+namespace nuchase {
+namespace chase {
+
+core::Term NullStore::GetOrCreate(
+    std::uint32_t tgd_index, core::Term existential_var,
+    const std::vector<core::Term>& frontier_images) {
+  return GetOrCreate(tgd_index, existential_var, frontier_images,
+                     frontier_images);
+}
+
+core::Term NullStore::GetOrCreate(
+    std::uint32_t tgd_index, core::Term existential_var,
+    const std::vector<core::Term>& key_images,
+    const std::vector<core::Term>& depth_images) {
+  std::vector<std::uint32_t> key;
+  key.reserve(key_images.size() + 2);
+  key.push_back(tgd_index);
+  key.push_back(existential_var.bits());
+  for (core::Term t : key_images) key.push_back(t.bits());
+
+  auto it = store_.find(key);
+  if (it != store_.end()) return it->second;
+
+  std::uint32_t depth = 0;
+  for (core::Term t : depth_images) {
+    depth = std::max(depth, symbols_->depth(t));
+  }
+  core::Term null = symbols_->MakeNull(depth + 1);
+  store_.emplace(std::move(key), null);
+  return null;
+}
+
+}  // namespace chase
+}  // namespace nuchase

@@ -1,0 +1,54 @@
+#ifndef NUCHASE_CHASE_NULL_STORE_H_
+#define NUCHASE_CHASE_NULL_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/symbol_table.h"
+#include "core/term.h"
+#include "util/hash.h"
+
+namespace nuchase {
+namespace chase {
+
+/// Interns the labelled nulls of the semi-oblivious chase. Definition 3.1
+/// names the null for existential variable z of trigger (σ, h) as
+/// ⊥^z_{σ, h|fr(σ)}: its identity is fully determined by the TGD, the
+/// variable, and the restriction of h to the frontier. This store maps
+/// that key to a unique core::Term, creating it (with the correct depth,
+/// Definition 4.3) on first request.
+class NullStore {
+ public:
+  explicit NullStore(core::SymbolTable* symbols) : symbols_(symbols) {}
+
+  /// Returns the null ⊥^z_{σ, h|fr(σ)} for `tgd_index` (position of σ in
+  /// Σ), `existential_var` z, and the frontier images h(fr(σ)) listed in
+  /// the fixed (sorted-frontier) order. Depth is
+  /// 1 + max({depth(h(x)) | x ∈ fr(σ)} ∪ {0}).
+  core::Term GetOrCreate(std::uint32_t tgd_index,
+                         core::Term existential_var,
+                         const std::vector<core::Term>& frontier_images);
+
+  /// Variant-agnostic form: the null's identity is keyed by `key_images`
+  /// (the frontier images for the semi-oblivious chase, the full body
+  /// images for the oblivious one), while its depth is always computed
+  /// from `depth_images` = h(fr(σ)) per Definition 4.3.
+  core::Term GetOrCreate(std::uint32_t tgd_index,
+                         core::Term existential_var,
+                         const std::vector<core::Term>& key_images,
+                         const std::vector<core::Term>& depth_images);
+
+  std::size_t size() const { return store_.size(); }
+
+ private:
+  core::SymbolTable* symbols_;
+  std::unordered_map<std::vector<std::uint32_t>, core::Term,
+                     util::VectorHash<std::uint32_t>>
+      store_;
+};
+
+}  // namespace chase
+}  // namespace nuchase
+
+#endif  // NUCHASE_CHASE_NULL_STORE_H_

@@ -1,0 +1,149 @@
+#include "chase/trigger.h"
+
+#include <cassert>
+#include <limits>
+
+namespace nuchase {
+namespace chase {
+
+using core::Atom;
+using core::AtomIndex;
+using core::Instance;
+using core::Term;
+
+Atom ApplySubstitution(const Atom& atom, const Substitution& h) {
+  Atom out = atom;
+  for (Term& t : out.args) {
+    if (t.IsVariable()) {
+      auto it = h.find(t);
+      if (it != h.end()) t = it->second;
+    }
+  }
+  return out;
+}
+
+bool HomomorphismFinder::Match(const Atom& pattern, const Atom& fact,
+                               Substitution* h,
+                               std::vector<Term>* trail) {
+  assert(pattern.predicate == fact.predicate);
+  const std::size_t trail_start = trail->size();
+  for (std::size_t i = 0; i < pattern.args.size(); ++i) {
+    Term p = pattern.args[i];
+    Term f = fact.args[i];
+    if (p.IsVariable()) {
+      auto it = h->find(p);
+      if (it == h->end()) {
+        h->emplace(p, f);
+        trail->push_back(p);
+      } else if (it->second != f) {
+        // Undo bindings made during this match attempt.
+        for (std::size_t k = trail->size(); k > trail_start; --k) {
+          h->erase((*trail)[k - 1]);
+        }
+        trail->resize(trail_start);
+        return false;
+      }
+    } else if (p != f) {  // constant or null: must match exactly
+      for (std::size_t k = trail->size(); k > trail_start; --k) {
+        h->erase((*trail)[k - 1]);
+      }
+      trail->resize(trail_start);
+      return false;
+    }
+  }
+  return true;
+}
+
+void HomomorphismFinder::Enumerate(
+    const std::vector<Atom>& atoms, const Substitution& initial,
+    int seed_atom, AtomIndex seed_target,
+    const std::function<bool(const Substitution&)>& cb) const {
+  Substitution h = initial;
+  std::vector<bool> done(atoms.size(), false);
+  std::vector<Term> trail;
+
+  if (seed_atom >= 0) {
+    const Atom& fact = instance_.atom(seed_target);
+    if (atoms[static_cast<std::size_t>(seed_atom)].predicate !=
+        fact.predicate) {
+      return;
+    }
+    if (!Match(atoms[static_cast<std::size_t>(seed_atom)], fact, &h,
+               &trail)) {
+      return;
+    }
+    done[static_cast<std::size_t>(seed_atom)] = true;
+  }
+
+  std::size_t remaining = atoms.size() - (seed_atom >= 0 ? 1 : 0);
+  Recurse(atoms, &done, remaining, &h, cb);
+}
+
+void HomomorphismFinder::Enumerate(
+    const std::vector<Atom>& atoms,
+    const std::function<bool(const Substitution&)>& cb) const {
+  Enumerate(atoms, Substitution{}, -1, 0, cb);
+}
+
+bool HomomorphismFinder::Recurse(
+    const std::vector<Atom>& atoms, std::vector<bool>* done,
+    std::size_t remaining, Substitution* h,
+    const std::function<bool(const Substitution&)>& cb) const {
+  if (remaining == 0) return cb(*h);
+
+  // Pick the undone atom with the smallest candidate list: for every bound
+  // position use the (predicate, position, term) index; fall back to the
+  // per-predicate list.
+  std::size_t best = atoms.size();
+  std::size_t best_count = std::numeric_limits<std::size_t>::max();
+  const std::vector<AtomIndex>* best_candidates = nullptr;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if ((*done)[i]) continue;
+    const Atom& a = atoms[i];
+    const std::vector<AtomIndex>* candidates =
+        &instance_.AtomsWithPredicate(a.predicate);
+    std::size_t count = candidates->size();
+    if (use_position_index_) {
+      for (std::uint32_t pos = 0; pos < a.arity(); ++pos) {
+        Term t = a.args[pos];
+        if (t.IsVariable()) {
+          auto it = h->find(t);
+          if (it == h->end()) continue;
+          t = it->second;
+        }
+        const std::vector<AtomIndex>& narrowed =
+            instance_.AtomsWithTermAt(a.predicate, pos, t);
+        if (narrowed.size() < count) {
+          count = narrowed.size();
+          candidates = &narrowed;
+        }
+      }
+    }
+    if (count < best_count) {
+      best_count = count;
+      best = i;
+      best_candidates = candidates;
+      if (count == 0) break;
+    }
+  }
+  if (best == atoms.size()) return true;
+  if (best_count == 0) return true;  // no match for some atom: dead branch
+
+  (*done)[best] = true;
+  std::vector<Term> trail;
+  for (AtomIndex idx : *best_candidates) {
+    trail.clear();
+    if (!Match(atoms[best], instance_.atom(idx), h, &trail)) continue;
+    bool keep_going = Recurse(atoms, done, remaining - 1, h, cb);
+    for (std::size_t k = trail.size(); k > 0; --k) h->erase(trail[k - 1]);
+    if (!keep_going) {
+      (*done)[best] = false;
+      return false;
+    }
+  }
+  (*done)[best] = false;
+  return true;
+}
+
+}  // namespace chase
+}  // namespace nuchase

@@ -1,0 +1,71 @@
+#ifndef NUCHASE_CHASE_TRIGGER_H_
+#define NUCHASE_CHASE_TRIGGER_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/instance.h"
+#include "core/term.h"
+
+namespace nuchase {
+namespace chase {
+
+/// A substitution h : V → C ∪ N, represented sparsely.
+using Substitution = std::unordered_map<core::Term, core::Term>;
+
+/// Applies a substitution to an atom; unbound variables are kept as-is.
+core::Atom ApplySubstitution(const core::Atom& atom, const Substitution& h);
+
+/// Enumerates homomorphisms from a conjunction of atoms (with variables,
+/// and possibly constants/nulls that must match exactly) into an Instance.
+/// This is the join kernel shared by the chase (trigger search,
+/// Definition 3.1) and the conjunctive-query evaluator.
+class HomomorphismFinder {
+ public:
+  /// `use_position_index` = false disables the secondary
+  /// (predicate, position, term) index and joins through the
+  /// per-predicate lists only — the ablation baseline measured by
+  /// bench_index_ablation.
+  explicit HomomorphismFinder(const core::Instance& instance,
+                              bool use_position_index = true)
+      : instance_(instance), use_position_index_(use_position_index) {}
+
+  /// Calls `cb` once per homomorphism from `atoms` into the instance,
+  /// extending `initial` (which may pre-bind variables). If `cb` returns
+  /// false, enumeration stops. `seed_atom` >= 0 pins atoms[seed_atom] to
+  /// the instance atom `seed_target` (used for semi-naive evaluation).
+  ///
+  /// Atom selection is greedy most-bound-first, and candidates are fetched
+  /// through the per-(predicate, position, term) index when any argument is
+  /// bound.
+  void Enumerate(const std::vector<core::Atom>& atoms,
+                 const Substitution& initial, int seed_atom,
+                 core::AtomIndex seed_target,
+                 const std::function<bool(const Substitution&)>& cb) const;
+
+  /// Convenience overload: no seed, empty initial substitution.
+  void Enumerate(const std::vector<core::Atom>& atoms,
+                 const std::function<bool(const Substitution&)>& cb) const;
+
+ private:
+  /// Tries to unify `pattern` against the concrete instance atom `fact`,
+  /// extending `h`. Returns false (and leaves `h` unchanged modulo the
+  /// recorded trail) on mismatch.
+  static bool Match(const core::Atom& pattern, const core::Atom& fact,
+                    Substitution* h, std::vector<core::Term>* trail);
+
+  bool Recurse(const std::vector<core::Atom>& atoms,
+               std::vector<bool>* done, std::size_t remaining,
+               Substitution* h,
+               const std::function<bool(const Substitution&)>& cb) const;
+
+  const core::Instance& instance_;
+  bool use_position_index_;
+};
+
+}  // namespace chase
+}  // namespace nuchase
+
+#endif  // NUCHASE_CHASE_TRIGGER_H_

@@ -1,0 +1,20 @@
+#include "core/atom.h"
+
+#include <string>
+
+namespace nuchase {
+namespace core {
+
+std::string Atom::ToString(const SymbolTable& symbols) const {
+  std::string out = symbols.predicate_name(predicate);
+  out += '(';
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += symbols.TermToString(args[i]);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace core
+}  // namespace nuchase

@@ -1,0 +1,63 @@
+#ifndef NUCHASE_CORE_ATOM_H_
+#define NUCHASE_CORE_ATOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/symbol_table.h"
+#include "core/term.h"
+#include "util/hash.h"
+
+namespace nuchase {
+namespace core {
+
+/// An atom R(t1,...,tn): a predicate applied to a tuple of terms
+/// (Section 2). Atoms over constants only are facts; atoms in TGDs use
+/// variables; chase instances mix constants and nulls.
+struct Atom {
+  PredicateId predicate = kInvalidPredicate;
+  std::vector<Term> args;
+
+  Atom() = default;
+  Atom(PredicateId pred, std::vector<Term> arguments)
+      : predicate(pred), args(std::move(arguments)) {}
+
+  std::uint32_t arity() const {
+    return static_cast<std::uint32_t>(args.size());
+  }
+
+  bool operator==(const Atom& o) const {
+    return predicate == o.predicate && args == o.args;
+  }
+  bool operator!=(const Atom& o) const { return !(*this == o); }
+  bool operator<(const Atom& o) const {
+    if (predicate != o.predicate) return predicate < o.predicate;
+    return args < o.args;
+  }
+
+  /// True iff every argument is a constant (i.e. the atom is a fact).
+  bool IsFact() const {
+    for (Term t : args) {
+      if (!t.IsConstant()) return false;
+    }
+    return true;
+  }
+
+  /// Renders the atom with the given symbol table, e.g. "R(a, _:n3)".
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+struct AtomHash {
+  std::size_t operator()(const Atom& a) const {
+    std::size_t seed = std::hash<std::uint32_t>{}(a.predicate);
+    for (Term t : a.args) {
+      util::HashCombine(&seed, std::hash<std::uint32_t>{}(t.bits()));
+    }
+    return seed;
+  }
+};
+
+}  // namespace core
+}  // namespace nuchase
+
+#endif  // NUCHASE_CORE_ATOM_H_

@@ -1,0 +1,67 @@
+#include "core/database.h"
+
+#include <algorithm>
+
+namespace nuchase {
+namespace core {
+
+util::Status Database::AddFact(Atom fact) {
+  if (!fact.IsFact()) {
+    return util::Status::InvalidArgument(
+        "database facts must mention constants only");
+  }
+  if (fact_set_.insert(fact).second) {
+    facts_.push_back(std::move(fact));
+  }
+  return util::Status::OK();
+}
+
+util::Status Database::AddFact(SymbolTable* symbols,
+                               const std::string& predicate,
+                               const std::vector<std::string>& constants) {
+  auto pred = symbols->InternPredicate(
+      predicate, static_cast<std::uint32_t>(constants.size()));
+  if (!pred.ok()) return pred.status();
+  std::vector<Term> args;
+  args.reserve(constants.size());
+  for (const std::string& c : constants) {
+    args.push_back(symbols->InternConstant(c));
+  }
+  return AddFact(Atom(*pred, std::move(args)));
+}
+
+std::unordered_set<PredicateId> Database::Predicates() const {
+  std::unordered_set<PredicateId> out;
+  for (const Atom& f : facts_) out.insert(f.predicate);
+  return out;
+}
+
+std::unordered_set<Term> Database::ActiveDomain() const {
+  std::unordered_set<Term> dom;
+  for (const Atom& f : facts_) {
+    for (Term t : f.args) dom.insert(t);
+  }
+  return dom;
+}
+
+Instance Database::ToInstance() const {
+  Instance out;
+  for (const Atom& f : facts_) out.Insert(f);
+  return out;
+}
+
+std::string Database::ToSortedString(const SymbolTable& symbols) const {
+  std::vector<std::string> lines;
+  lines.reserve(facts_.size());
+  for (const Atom& f : facts_) lines.push_back(f.ToString(symbols));
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace nuchase

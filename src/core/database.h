@@ -1,0 +1,58 @@
+#ifndef NUCHASE_CORE_DATABASE_H_
+#define NUCHASE_CORE_DATABASE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/instance.h"
+#include "core/symbol_table.h"
+#include "util/status.h"
+
+namespace nuchase {
+namespace core {
+
+/// A database D: a finite, duplicate-free set of facts (atoms over
+/// constants only; Section 2). The chase seeds its instance from a
+/// Database, and deciders take (D, Σ) pairs.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a fact. Fails if any argument is not a constant.
+  util::Status AddFact(Atom fact);
+
+  /// Convenience: adds R(c1,...,cn), interning constants by name.
+  util::Status AddFact(SymbolTable* symbols, const std::string& predicate,
+                       const std::vector<std::string>& constants);
+
+  const std::vector<Atom>& facts() const { return facts_; }
+  std::size_t size() const { return facts_.size(); }
+  bool empty() const { return facts_.empty(); }
+
+  bool Contains(const Atom& fact) const {
+    return fact_set_.find(fact) != fact_set_.end();
+  }
+
+  /// The set of predicates occurring in the database.
+  std::unordered_set<PredicateId> Predicates() const;
+
+  /// dom(D): the constants occurring in the database.
+  std::unordered_set<Term> ActiveDomain() const;
+
+  /// Materializes the database as an (indexed) Instance.
+  Instance ToInstance() const;
+
+  /// Sorted rendering, for tests.
+  std::string ToSortedString(const SymbolTable& symbols) const;
+
+ private:
+  std::vector<Atom> facts_;
+  std::unordered_set<Atom, AtomHash> fact_set_;
+};
+
+}  // namespace core
+}  // namespace nuchase
+
+#endif  // NUCHASE_CORE_DATABASE_H_

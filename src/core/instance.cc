@@ -1,0 +1,58 @@
+#include "core/instance.h"
+
+#include <algorithm>
+
+namespace nuchase {
+namespace core {
+
+const std::vector<AtomIndex> Instance::kEmpty;
+
+std::pair<AtomIndex, bool> Instance::Insert(Atom atom) {
+  auto it = index_.find(atom);
+  if (it != index_.end()) return {it->second, false};
+  AtomIndex idx = static_cast<AtomIndex>(atoms_.size());
+  by_predicate_[atom.predicate].push_back(idx);
+  for (std::uint32_t i = 0; i < atom.arity(); ++i) {
+    by_position_[PosKey{atom.predicate, i, atom.args[i]}].push_back(idx);
+  }
+  index_.emplace(atom, idx);
+  atoms_.push_back(std::move(atom));
+  return {idx, true};
+}
+
+const std::vector<AtomIndex>& Instance::AtomsWithPredicate(
+    PredicateId pred) const {
+  auto it = by_predicate_.find(pred);
+  return it == by_predicate_.end() ? kEmpty : it->second;
+}
+
+const std::vector<AtomIndex>& Instance::AtomsWithTermAt(PredicateId pred,
+                                                        std::uint32_t pos,
+                                                        Term t) const {
+  auto it = by_position_.find(PosKey{pred, pos, t});
+  return it == by_position_.end() ? kEmpty : it->second;
+}
+
+std::unordered_set<Term> Instance::ActiveDomain() const {
+  std::unordered_set<Term> dom;
+  for (const Atom& a : atoms_) {
+    for (Term t : a.args) dom.insert(t);
+  }
+  return dom;
+}
+
+std::string Instance::ToSortedString(const SymbolTable& symbols) const {
+  std::vector<std::string> lines;
+  lines.reserve(atoms_.size());
+  for (const Atom& a : atoms_) lines.push_back(a.ToString(symbols));
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace nuchase

@@ -1,0 +1,94 @@
+#ifndef NUCHASE_CORE_INSTANCE_H_
+#define NUCHASE_CORE_INSTANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/symbol_table.h"
+
+namespace nuchase {
+namespace core {
+
+/// Index of an atom within an Instance, in insertion order.
+using AtomIndex = std::uint32_t;
+
+/// A (finite prefix of an) instance: a duplicate-free, insertion-ordered set
+/// of atoms over constants and nulls, with the per-predicate and
+/// per-(predicate, position, term) indexes the chase engine joins against
+/// (the "VLog-style" storage layer).
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Inserts an atom. Returns its index and whether it was new.
+  std::pair<AtomIndex, bool> Insert(Atom atom);
+
+  bool Contains(const Atom& atom) const {
+    return index_.find(atom) != index_.end();
+  }
+
+  /// Finds the index of an atom; returns false if absent.
+  bool Find(const Atom& atom, AtomIndex* index) const {
+    auto it = index_.find(atom);
+    if (it == index_.end()) return false;
+    *index = it->second;
+    return true;
+  }
+
+  const Atom& atom(AtomIndex i) const { return atoms_[i]; }
+  std::size_t size() const { return atoms_.size(); }
+  bool empty() const { return atoms_.empty(); }
+
+  /// All atom indexes with the given predicate (empty if none).
+  const std::vector<AtomIndex>& AtomsWithPredicate(PredicateId pred) const;
+
+  /// All atom indexes with predicate `pred` and term `t` at position `pos`.
+  const std::vector<AtomIndex>& AtomsWithTermAt(PredicateId pred,
+                                                std::uint32_t pos,
+                                                Term t) const;
+
+  /// dom(I): the active domain (constants and nulls occurring in the
+  /// instance).
+  std::unordered_set<Term> ActiveDomain() const;
+
+  /// All atoms, in insertion order.
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  /// Sorted multi-line rendering (stable across runs), for tests and goldens.
+  std::string ToSortedString(const SymbolTable& symbols) const;
+
+ private:
+  std::vector<Atom> atoms_;
+  std::unordered_map<Atom, AtomIndex, AtomHash> index_;
+  // predicate -> atom indexes
+  std::unordered_map<PredicateId, std::vector<AtomIndex>> by_predicate_;
+  // (predicate, position) -> term -> atom indexes
+  struct PosKey {
+    PredicateId pred;
+    std::uint32_t pos;
+    Term term;
+    bool operator==(const PosKey& o) const {
+      return pred == o.pred && pos == o.pos && term == o.term;
+    }
+  };
+  struct PosKeyHash {
+    std::size_t operator()(const PosKey& k) const {
+      std::size_t seed = std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.pred) << 32) | k.pos);
+      util::HashCombine(&seed, std::hash<std::uint32_t>{}(k.term.bits()));
+      return seed;
+    }
+  };
+  std::unordered_map<PosKey, std::vector<AtomIndex>, PosKeyHash> by_position_;
+
+  static const std::vector<AtomIndex> kEmpty;
+};
+
+}  // namespace core
+}  // namespace nuchase
+
+#endif  // NUCHASE_CORE_INSTANCE_H_

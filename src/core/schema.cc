@@ -1,0 +1,44 @@
+#include "core/schema.h"
+
+namespace nuchase {
+namespace core {
+
+std::vector<Position> AllPositions(const std::vector<PredicateId>& predicates,
+                                   const SymbolTable& symbols) {
+  std::vector<Position> out;
+  for (PredicateId pred : predicates) {
+    for (std::uint32_t i = 0; i < symbols.arity(pred); ++i) {
+      out.emplace_back(pred, i);
+    }
+  }
+  return out;
+}
+
+std::vector<Position> PositionsOfTerm(const Atom& atom, Term term) {
+  std::vector<Position> out;
+  for (std::uint32_t i = 0; i < atom.arity(); ++i) {
+    if (atom.args[i] == term) out.emplace_back(atom.predicate, i);
+  }
+  return out;
+}
+
+std::set<Term> VariablesOf(const Atom& atom) {
+  std::set<Term> out;
+  for (Term t : atom.args) {
+    if (t.IsVariable()) out.insert(t);
+  }
+  return out;
+}
+
+std::set<Term> VariablesOf(const std::vector<Atom>& atoms) {
+  std::set<Term> out;
+  for (const Atom& a : atoms) {
+    for (Term t : a.args) {
+      if (t.IsVariable()) out.insert(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace nuchase

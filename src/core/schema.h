@@ -1,0 +1,59 @@
+#ifndef NUCHASE_CORE_SCHEMA_H_
+#define NUCHASE_CORE_SCHEMA_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/symbol_table.h"
+
+namespace nuchase {
+namespace core {
+
+/// A predicate position (R, i): the i-th argument slot of predicate R,
+/// 0-based internally (the paper is 1-based). Positions are the nodes of
+/// the dependency graph dg(Σ) (Section 6).
+struct Position {
+  PredicateId predicate = kInvalidPredicate;
+  std::uint32_t index = 0;
+
+  Position() = default;
+  Position(PredicateId pred, std::uint32_t idx)
+      : predicate(pred), index(idx) {}
+
+  bool operator==(const Position& o) const {
+    return predicate == o.predicate && index == o.index;
+  }
+  bool operator!=(const Position& o) const { return !(*this == o); }
+  bool operator<(const Position& o) const {
+    if (predicate != o.predicate) return predicate < o.predicate;
+    return index < o.index;
+  }
+};
+
+struct PositionHash {
+  std::size_t operator()(const Position& p) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.predicate) << 32) | p.index);
+  }
+};
+
+/// pos(S): all positions of the given predicates (Section 2).
+std::vector<Position> AllPositions(const std::vector<PredicateId>& predicates,
+                                   const SymbolTable& symbols);
+
+/// pos(α, x): positions of atom α at which term x occurs (Section 2).
+std::vector<Position> PositionsOfTerm(const Atom& atom, Term term);
+
+/// var(α): the set of distinct variables occurring in α.
+std::set<Term> VariablesOf(const Atom& atom);
+
+/// var over a set of atoms.
+std::set<Term> VariablesOf(const std::vector<Atom>& atoms);
+
+}  // namespace core
+}  // namespace nuchase
+
+#endif  // NUCHASE_CORE_SCHEMA_H_

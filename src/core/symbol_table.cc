@@ -1,0 +1,103 @@
+#include "core/symbol_table.h"
+
+#include <cassert>
+
+namespace nuchase {
+namespace core {
+
+util::StatusOr<PredicateId> SymbolTable::InternPredicate(
+    const std::string& name, std::uint32_t arity) {
+  auto it = predicate_by_name_.find(name);
+  if (it != predicate_by_name_.end()) {
+    if (predicates_[it->second].arity != arity) {
+      return util::Status::InvalidArgument(
+          "predicate '" + name + "' re-declared with arity " +
+          std::to_string(arity) + " (was " +
+          std::to_string(predicates_[it->second].arity) + ")");
+    }
+    return it->second;
+  }
+  if (arity == 0) {
+    // The paper's schemas have arity > 0 except in the PAE problem, whose
+    // 0-ary atoms we support as well.
+  }
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back(PredicateInfo{name, arity});
+  predicate_by_name_.emplace(name, id);
+  return id;
+}
+
+util::StatusOr<PredicateId> SymbolTable::FindPredicate(
+    const std::string& name) const {
+  auto it = predicate_by_name_.find(name);
+  if (it == predicate_by_name_.end()) {
+    return util::Status::NotFound("predicate '" + name + "' not declared");
+  }
+  return it->second;
+}
+
+Term SymbolTable::InternConstant(const std::string& name) {
+  auto it = constant_by_name_.find(name);
+  if (it != constant_by_name_.end()) {
+    return Term(TermKind::kConstant, it->second);
+  }
+  std::uint32_t idx = static_cast<std::uint32_t>(constant_names_.size());
+  constant_names_.push_back(name);
+  constant_by_name_.emplace(name, idx);
+  return Term(TermKind::kConstant, idx);
+}
+
+Term SymbolTable::InternVariable(const std::string& name) {
+  auto it = variable_by_name_.find(name);
+  if (it != variable_by_name_.end()) {
+    return Term(TermKind::kVariable, it->second);
+  }
+  std::uint32_t idx = static_cast<std::uint32_t>(variable_names_.size());
+  variable_names_.push_back(name);
+  variable_by_name_.emplace(name, idx);
+  return Term(TermKind::kVariable, idx);
+}
+
+const std::string& SymbolTable::constant_name(Term t) const {
+  assert(t.IsConstant());
+  return constant_names_[t.index()];
+}
+
+const std::string& SymbolTable::variable_name(Term t) const {
+  assert(t.IsVariable());
+  return variable_names_[t.index()];
+}
+
+Term SymbolTable::MakeNull(std::uint32_t depth) {
+  std::uint32_t idx = static_cast<std::uint32_t>(null_depths_.size());
+  null_depths_.push_back(depth);
+  return Term(TermKind::kNull, idx);
+}
+
+std::uint32_t SymbolTable::depth(Term t) const {
+  switch (t.kind()) {
+    case TermKind::kConstant:
+      return 0;
+    case TermKind::kNull:
+      return null_depths_[t.index()];
+    case TermKind::kVariable:
+      assert(false && "depth() called on a variable");
+      return 0;
+  }
+  return 0;
+}
+
+std::string SymbolTable::TermToString(Term t) const {
+  switch (t.kind()) {
+    case TermKind::kConstant:
+      return constant_names_[t.index()];
+    case TermKind::kNull:
+      return "_:n" + std::to_string(t.index());
+    case TermKind::kVariable:
+      return variable_names_[t.index()];
+  }
+  return "?";
+}
+
+}  // namespace core
+}  // namespace nuchase

@@ -1,0 +1,103 @@
+#ifndef NUCHASE_CORE_SYMBOL_TABLE_H_
+#define NUCHASE_CORE_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/term.h"
+#include "util/status.h"
+
+namespace nuchase {
+namespace core {
+
+/// Numeric handle of a predicate inside a Context.
+using PredicateId = std::uint32_t;
+
+/// Sentinel for "no predicate".
+inline constexpr PredicateId kInvalidPredicate = 0xffffffffu;
+
+/// Interning table for the symbols of one Context: predicate names with
+/// arities, constant names, variable names, and labelled nulls.
+///
+/// Nulls are not named by strings; they are allocated by the chase (or the
+/// rewriting machinery) and carry a depth (Definition 4.3). Their printable
+/// form is "_:n<k>".
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // Predicates -------------------------------------------------------------
+
+  /// Interns a predicate with the given name and arity. Returns an error if
+  /// the name is already interned with a different arity.
+  util::StatusOr<PredicateId> InternPredicate(const std::string& name,
+                                              std::uint32_t arity);
+
+  /// Looks up a predicate by name.
+  util::StatusOr<PredicateId> FindPredicate(const std::string& name) const;
+
+  const std::string& predicate_name(PredicateId id) const {
+    return predicates_[id].name;
+  }
+  std::uint32_t arity(PredicateId id) const { return predicates_[id].arity; }
+  std::uint32_t num_predicates() const {
+    return static_cast<std::uint32_t>(predicates_.size());
+  }
+
+  // Constants & variables ----------------------------------------------------
+
+  /// Interns a constant by name (idempotent).
+  Term InternConstant(const std::string& name);
+  /// Interns a variable by name (idempotent).
+  Term InternVariable(const std::string& name);
+
+  const std::string& constant_name(Term t) const;
+  const std::string& variable_name(Term t) const;
+
+  std::uint32_t num_constants() const {
+    return static_cast<std::uint32_t>(constant_names_.size());
+  }
+  std::uint32_t num_variables() const {
+    return static_cast<std::uint32_t>(variable_names_.size());
+  }
+
+  // Nulls --------------------------------------------------------------------
+
+  /// Allocates a fresh labelled null with the given depth.
+  Term MakeNull(std::uint32_t depth);
+
+  /// Depth of a term (Definition 4.3): 0 for constants, the recorded
+  /// creation depth for nulls. Must not be called on variables.
+  std::uint32_t depth(Term t) const;
+
+  std::uint32_t num_nulls() const {
+    return static_cast<std::uint32_t>(null_depths_.size());
+  }
+
+  /// Printable form of any term.
+  std::string TermToString(Term t) const;
+
+ private:
+  struct PredicateInfo {
+    std::string name;
+    std::uint32_t arity;
+  };
+
+  std::vector<PredicateInfo> predicates_;
+  std::unordered_map<std::string, PredicateId> predicate_by_name_;
+
+  std::vector<std::string> constant_names_;
+  std::unordered_map<std::string, std::uint32_t> constant_by_name_;
+
+  std::vector<std::string> variable_names_;
+  std::unordered_map<std::string, std::uint32_t> variable_by_name_;
+
+  std::vector<std::uint32_t> null_depths_;
+};
+
+}  // namespace core
+}  // namespace nuchase
+
+#endif  // NUCHASE_CORE_SYMBOL_TABLE_H_

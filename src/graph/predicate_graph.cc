@@ -1,0 +1,80 @@
+#include "graph/predicate_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace nuchase {
+namespace graph {
+
+const std::vector<core::PredicateId> PredicateGraph::kEmpty;
+
+PredicateGraph::PredicateGraph(const tgd::TgdSet& tgds) {
+  std::set<std::pair<core::PredicateId, core::PredicateId>> edges;
+  for (const tgd::Tgd& rule : tgds.tgds()) {
+    for (const core::Atom& b : rule.body()) {
+      for (const core::Atom& h : rule.head()) {
+        edges.emplace(b.predicate, h.predicate);
+      }
+    }
+  }
+  for (const auto& [from, to] : edges) {
+    successors_[from].push_back(to);
+    predecessors_[to].push_back(from);
+  }
+}
+
+const std::vector<core::PredicateId>& PredicateGraph::Successors(
+    core::PredicateId pred) const {
+  auto it = successors_.find(pred);
+  return it == successors_.end() ? kEmpty : it->second;
+}
+
+bool PredicateGraph::Reaches(core::PredicateId from,
+                             core::PredicateId to) const {
+  if (from == to) return true;
+  std::unordered_set<core::PredicateId> seen{from};
+  std::deque<core::PredicateId> queue{from};
+  while (!queue.empty()) {
+    core::PredicateId u = queue.front();
+    queue.pop_front();
+    for (core::PredicateId v : Successors(u)) {
+      if (v == to) return true;
+      if (seen.insert(v).second) queue.push_back(v);
+    }
+  }
+  return false;
+}
+
+std::unordered_set<core::PredicateId> PredicateGraph::ForwardClosure(
+    const std::unordered_set<core::PredicateId>& seeds) const {
+  std::unordered_set<core::PredicateId> seen = seeds;
+  std::deque<core::PredicateId> queue(seeds.begin(), seeds.end());
+  while (!queue.empty()) {
+    core::PredicateId u = queue.front();
+    queue.pop_front();
+    for (core::PredicateId v : Successors(u)) {
+      if (seen.insert(v).second) queue.push_back(v);
+    }
+  }
+  return seen;
+}
+
+std::unordered_set<core::PredicateId> PredicateGraph::BackwardClosure(
+    const std::unordered_set<core::PredicateId>& seeds) const {
+  std::unordered_set<core::PredicateId> seen = seeds;
+  std::deque<core::PredicateId> queue(seeds.begin(), seeds.end());
+  while (!queue.empty()) {
+    core::PredicateId u = queue.front();
+    queue.pop_front();
+    auto it = predecessors_.find(u);
+    if (it == predecessors_.end()) continue;
+    for (core::PredicateId v : it->second) {
+      if (seen.insert(v).second) queue.push_back(v);
+    }
+  }
+  return seen;
+}
+
+}  // namespace graph
+}  // namespace nuchase

@@ -1,0 +1,49 @@
+#ifndef NUCHASE_GRAPH_PREDICATE_GRAPH_H_
+#define NUCHASE_GRAPH_PREDICATE_GRAPH_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/symbol_table.h"
+#include "tgd/tgd.h"
+
+namespace nuchase {
+namespace graph {
+
+/// The predicate graph pg(Σ) (Appendix E): nodes are the predicates of
+/// sch(Σ), with an edge (R, P) iff some TGD has R in its body and P in its
+/// head. The reachability relation ⇝_Σ of Section 6 is the reflexive-
+/// transitive closure of this graph (R →_Σ P includes R = P).
+class PredicateGraph {
+ public:
+  explicit PredicateGraph(const tgd::TgdSet& tgds);
+
+  /// Successors of a predicate (empty if none).
+  const std::vector<core::PredicateId>& Successors(
+      core::PredicateId pred) const;
+
+  /// R ⇝_Σ P: reflexive-transitive reachability.
+  bool Reaches(core::PredicateId from, core::PredicateId to) const;
+
+  /// Forward closure of a set of predicates (includes the seeds:
+  /// reachability is reflexive).
+  std::unordered_set<core::PredicateId> ForwardClosure(
+      const std::unordered_set<core::PredicateId>& seeds) const;
+
+  /// Backward closure: all R with R ⇝_Σ P for some P in `seeds`.
+  std::unordered_set<core::PredicateId> BackwardClosure(
+      const std::unordered_set<core::PredicateId>& seeds) const;
+
+ private:
+  std::unordered_map<core::PredicateId, std::vector<core::PredicateId>>
+      successors_;
+  std::unordered_map<core::PredicateId, std::vector<core::PredicateId>>
+      predecessors_;
+  static const std::vector<core::PredicateId> kEmpty;
+};
+
+}  // namespace graph
+}  // namespace nuchase
+
+#endif  // NUCHASE_GRAPH_PREDICATE_GRAPH_H_

@@ -1,0 +1,58 @@
+#include "graph/weak_acyclicity.h"
+
+#include "graph/dependency_graph.h"
+#include "graph/predicate_graph.h"
+
+namespace nuchase {
+namespace graph {
+
+WeakAcyclicityResult CheckWeakAcyclicity(
+    const tgd::TgdSet& tgds,
+    const std::unordered_set<core::PredicateId>& db_predicates,
+    const core::SymbolTable& symbols) {
+  WeakAcyclicityResult result;
+  DependencyGraph dg(tgds, symbols);
+  std::vector<DependencyGraph::NodeId> sources = dg.SpecialCycleSources();
+  if (sources.empty()) return result;  // not even a special cycle
+
+  for (DependencyGraph::NodeId id : sources) {
+    result.special_cycle_positions.push_back(dg.position(id));
+  }
+
+  PredicateGraph pg(tgds);
+  std::unordered_set<core::PredicateId> reachable =
+      pg.ForwardClosure(db_predicates);
+  for (const core::Position& pos : result.special_cycle_positions) {
+    if (reachable.count(pos.predicate)) {
+      result.supported_witnesses.push_back(pos);
+    }
+  }
+  result.weakly_acyclic = result.supported_witnesses.empty();
+  return result;
+}
+
+WeakAcyclicityResult CheckWeakAcyclicity(const tgd::TgdSet& tgds,
+                                         const core::Database& db,
+                                         const core::SymbolTable& symbols) {
+  return CheckWeakAcyclicity(tgds, db.Predicates(), symbols);
+}
+
+bool IsUniformlyWeaklyAcyclic(const tgd::TgdSet& tgds,
+                              const core::SymbolTable& symbols) {
+  DependencyGraph dg(tgds, symbols);
+  return !dg.HasSpecialCycle();
+}
+
+std::unordered_set<core::PredicateId> SupportPredicates(
+    const tgd::TgdSet& tgds, const core::SymbolTable& symbols) {
+  DependencyGraph dg(tgds, symbols);
+  std::unordered_set<core::PredicateId> cycle_preds;
+  for (DependencyGraph::NodeId id : dg.SpecialCycleSources()) {
+    cycle_preds.insert(dg.position(id).predicate);
+  }
+  PredicateGraph pg(tgds);
+  return pg.BackwardClosure(cycle_preds);
+}
+
+}  // namespace graph
+}  // namespace nuchase

@@ -1,0 +1,66 @@
+#ifndef NUCHASE_GRAPH_WEAK_ACYCLICITY_H_
+#define NUCHASE_GRAPH_WEAK_ACYCLICITY_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/database.h"
+#include "core/schema.h"
+#include "tgd/tgd.h"
+
+namespace nuchase {
+namespace graph {
+
+/// Result of the non-uniform weak-acyclicity check (Definition 6.1),
+/// including the witness data CheckWA (Algorithm 1) would guess.
+struct WeakAcyclicityResult {
+  /// True iff Σ is D-weakly-acyclic: no D-supported cycle in dg(Σ) goes
+  /// through a special edge.
+  bool weakly_acyclic = true;
+  /// Positions that are sources of special edges lying on cycles
+  /// (regardless of D-support). Non-empty iff Σ is not *uniformly*
+  /// weakly-acyclic.
+  std::vector<core::Position> special_cycle_positions;
+  /// The subset of special_cycle_positions whose predicate is pg-reachable
+  /// from a predicate of D, i.e. the witnesses that the cycle is
+  /// D-supported. Non-empty iff !weakly_acyclic.
+  std::vector<core::Position> supported_witnesses;
+};
+
+/// Decides whether Σ is D-weakly-acyclic (Definition 6.1).
+///
+/// A cycle through a special edge (u, v) exists iff v reaches u in dg(Σ)
+/// (same SCC), and every node on such a cycle is predicate-reachable from
+/// every other node on it (each dg-edge induces a pg-edge), so the cycle
+/// is D-supported iff pred(u) lies in the forward pg-closure of the
+/// database predicates. This realizes both reachability checks of
+/// Algorithm 1 deterministically.
+WeakAcyclicityResult CheckWeakAcyclicity(const tgd::TgdSet& tgds,
+                                         const core::Database& db,
+                                         const core::SymbolTable& symbols);
+
+/// Variant taking the database's predicate set directly (used when the
+/// caller has simple(D) / gsimple(D) predicates without materializing the
+/// facts).
+WeakAcyclicityResult CheckWeakAcyclicity(
+    const tgd::TgdSet& tgds,
+    const std::unordered_set<core::PredicateId>& db_predicates,
+    const core::SymbolTable& symbols);
+
+/// Uniform weak-acyclicity (Fagin et al. [14]): no cycle through a
+/// special edge at all. Equivalent to D-weak-acyclicity for the critical
+/// database containing every predicate.
+bool IsUniformlyWeaklyAcyclic(const tgd::TgdSet& tgds,
+                              const core::SymbolTable& symbols);
+
+/// The predicate set P_Σ of Theorem 6.6's UCQ construction: all R in
+/// sch(Σ) such that some position (P, i) lies on a cycle with a special
+/// edge and R ⇝_Σ P. Σ is not D-weakly-acyclic iff D contains a fact
+/// whose predicate is in P_Σ.
+std::unordered_set<core::PredicateId> SupportPredicates(
+    const tgd::TgdSet& tgds, const core::SymbolTable& symbols);
+
+}  // namespace graph
+}  // namespace nuchase
+
+#endif  // NUCHASE_GRAPH_WEAK_ACYCLICITY_H_

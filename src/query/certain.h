@@ -1,0 +1,55 @@
+#ifndef NUCHASE_QUERY_CERTAIN_H_
+#define NUCHASE_QUERY_CERTAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/symbol_table.h"
+#include "core/term.h"
+#include "query/ucq.h"
+#include "tgd/tgd.h"
+#include "util/status.h"
+
+namespace nuchase {
+namespace query {
+
+/// A conjunctive query with answer (free) variables:
+///   q(x̄) :- α₁, ..., α_k.
+/// Every answer variable must occur in some atom; the remaining
+/// variables are existentially quantified.
+struct AnswerQuery {
+  std::vector<core::Atom> atoms;
+  std::vector<core::Term> answer_variables;
+
+  std::string ToString(const core::SymbolTable& symbols) const;
+};
+
+struct CertainAnswersOptions {
+  /// Budget for the materialization chase.
+  std::uint64_t max_atoms = 1'000'000;
+};
+
+/// The certain answers of q over (D, Σ): the tuples t̄ over dom(D) such
+/// that t̄ ∈ q(M) for EVERY model M of D and Σ. This is the ontological
+/// query answering problem of Section 1.
+///
+/// Because chase(D, Σ) is a universal model, the certain answers are
+/// exactly the null-free answers of q over the chase — which is why
+/// non-uniform chase termination matters: whenever Σ ∈ CT_D the whole
+/// problem reduces to one materialization plus plain query evaluation.
+/// Fails with ResourceExhausted when the chase does not terminate
+/// within the budget (callers should consult termination::Decide first).
+///
+/// Answers are returned sorted and duplicate-free, each tuple listing
+/// the images of `answer_variables` in order.
+util::StatusOr<std::vector<std::vector<core::Term>>> CertainAnswers(
+    core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+    const core::Database& db, const AnswerQuery& query,
+    const CertainAnswersOptions& options = {});
+
+}  // namespace query
+}  // namespace nuchase
+
+#endif  // NUCHASE_QUERY_CERTAIN_H_

@@ -1,0 +1,66 @@
+#include "query/evaluator.h"
+
+#include "chase/trigger.h"
+
+namespace nuchase {
+namespace query {
+
+using chase::HomomorphismFinder;
+using chase::Substitution;
+
+bool Satisfies(const core::Instance& instance, const ConjunctiveQuery& cq) {
+  bool found = false;
+  HomomorphismFinder finder(instance);
+  finder.Enumerate(cq.atoms, [&](const Substitution&) {
+    found = true;
+    return false;  // stop at the first witness
+  });
+  return found;
+}
+
+bool Satisfies(const core::Instance& instance,
+               const UnionOfConjunctiveQueries& ucq) {
+  for (const ConjunctiveQuery& cq : ucq.disjuncts) {
+    if (Satisfies(instance, cq)) return true;
+  }
+  return false;
+}
+
+bool Satisfies(const core::Database& db,
+               const UnionOfConjunctiveQueries& ucq) {
+  core::Instance instance = db.ToInstance();
+  return Satisfies(instance, ucq);
+}
+
+bool Satisfies(const core::Instance& instance, const tgd::Tgd& rule) {
+  bool ok = true;
+  HomomorphismFinder finder(instance);
+  finder.Enumerate(rule.body(), [&](const Substitution& h) {
+    // Keep only the frontier bindings; the head must be matchable with
+    // some extension h' ⊇ h|fr(σ).
+    Substitution frontier_binding;
+    for (core::Term v : rule.frontier()) frontier_binding.emplace(v, h.at(v));
+    bool extended = false;
+    finder.Enumerate(rule.head(), frontier_binding, -1, 0,
+                     [&](const Substitution&) {
+                       extended = true;
+                       return false;
+                     });
+    if (!extended) {
+      ok = false;
+      return false;  // found a violated trigger; stop
+    }
+    return true;
+  });
+  return ok;
+}
+
+bool Satisfies(const core::Instance& instance, const tgd::TgdSet& tgds) {
+  for (const tgd::Tgd& rule : tgds.tgds()) {
+    if (!Satisfies(instance, rule)) return false;
+  }
+  return true;
+}
+
+}  // namespace query
+}  // namespace nuchase

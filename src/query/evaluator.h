@@ -1,0 +1,36 @@
+#ifndef NUCHASE_QUERY_EVALUATOR_H_
+#define NUCHASE_QUERY_EVALUATOR_H_
+
+#include "core/database.h"
+#include "core/instance.h"
+#include "query/ucq.h"
+#include "tgd/tgd.h"
+
+namespace nuchase {
+namespace query {
+
+/// Boolean CQ evaluation: is there a homomorphism from the query atoms
+/// into the instance?
+bool Satisfies(const core::Instance& instance, const ConjunctiveQuery& cq);
+
+/// Boolean UCQ evaluation (some disjunct holds).
+bool Satisfies(const core::Instance& instance,
+               const UnionOfConjunctiveQueries& ucq);
+
+/// UCQ evaluation directly over a database (the AC0 data-complexity
+/// procedure of Theorems 6.6 / 7.7 evaluates Q_Σ over D).
+bool Satisfies(const core::Database& db,
+               const UnionOfConjunctiveQueries& ucq);
+
+/// I |= σ (Section 2): every homomorphism from body(σ) to I extends to a
+/// homomorphism of head(σ). Used by tests to verify that a terminated
+/// chase result is a model.
+bool Satisfies(const core::Instance& instance, const tgd::Tgd& rule);
+
+/// I |= Σ.
+bool Satisfies(const core::Instance& instance, const tgd::TgdSet& tgds);
+
+}  // namespace query
+}  // namespace nuchase
+
+#endif  // NUCHASE_QUERY_EVALUATOR_H_

@@ -1,0 +1,27 @@
+#include "query/ucq.h"
+
+namespace nuchase {
+namespace query {
+
+std::string ConjunctiveQuery::ToString(
+    const core::SymbolTable& symbols) const {
+  std::string out = "Ans() <- ";
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atoms[i].ToString(symbols);
+  }
+  return out;
+}
+
+std::string UnionOfConjunctiveQueries::ToString(
+    const core::SymbolTable& symbols) const {
+  std::string out;
+  for (const ConjunctiveQuery& cq : disjuncts) {
+    out += cq.ToString(symbols);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace nuchase

@@ -1,0 +1,36 @@
+#ifndef NUCHASE_QUERY_UCQ_H_
+#define NUCHASE_QUERY_UCQ_H_
+
+#include <string>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/symbol_table.h"
+
+namespace nuchase {
+namespace query {
+
+/// A Boolean conjunctive query ∃x̄ (α₁ ∧ ... ∧ α_k): a conjunction of
+/// atoms whose variables are all existentially quantified. Repeated
+/// variables express equality constraints (this is how the UCQ of
+/// Theorem 7.7 encodes the patterns of simple(Σ)); constants are allowed
+/// and must match exactly.
+struct ConjunctiveQuery {
+  std::vector<core::Atom> atoms;
+
+  std::string ToString(const core::SymbolTable& symbols) const;
+};
+
+/// A Boolean union of conjunctive queries (UCQ): satisfied iff some
+/// disjunct is satisfied. The data-complexity deciders of Theorems 6.6
+/// and 7.7 reduce ChTrm to UCQ evaluation over D.
+struct UnionOfConjunctiveQueries {
+  std::vector<ConjunctiveQuery> disjuncts;
+
+  std::string ToString(const core::SymbolTable& symbols) const;
+};
+
+}  // namespace query
+}  // namespace nuchase
+
+#endif  // NUCHASE_QUERY_UCQ_H_

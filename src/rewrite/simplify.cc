@@ -1,0 +1,159 @@
+#include "rewrite/simplify.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <set>
+
+namespace nuchase {
+namespace rewrite {
+
+using core::Atom;
+using core::Term;
+
+std::vector<std::uint32_t> IdPattern(const std::vector<Term>& tuple) {
+  std::vector<std::uint32_t> pattern;
+  pattern.reserve(tuple.size());
+  std::vector<Term> seen;
+  for (Term t : tuple) {
+    auto it = std::find(seen.begin(), seen.end(), t);
+    if (it == seen.end()) {
+      seen.push_back(t);
+      pattern.push_back(static_cast<std::uint32_t>(seen.size()));
+    } else {
+      pattern.push_back(
+          static_cast<std::uint32_t>(it - seen.begin()) + 1);
+    }
+  }
+  return pattern;
+}
+
+core::PredicateId Simplifier::InternSimplifiedPredicate(
+    core::PredicateId original, const std::vector<std::uint32_t>& pattern) {
+  std::string name = symbols_->predicate_name(original);
+  name += '[';
+  std::uint32_t arity = 0;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    if (i > 0) name += ',';
+    name += std::to_string(pattern[i]);
+    arity = std::max(arity, pattern[i]);
+  }
+  name += ']';
+  auto pred = symbols_->InternPredicate(name, arity);
+  assert(pred.ok() && "simplified predicate arity collision");
+  origins_.emplace(*pred, OriginInfo{original, pattern});
+  return *pred;
+}
+
+Atom Simplifier::SimplifyAtom(const Atom& atom) {
+  std::vector<std::uint32_t> pattern = IdPattern(atom.args);
+  core::PredicateId pred =
+      InternSimplifiedPredicate(atom.predicate, pattern);
+  // unique(t̄): first occurrences in order.
+  std::vector<Term> unique_args;
+  for (std::size_t i = 0; i < atom.args.size(); ++i) {
+    if (pattern[i] == unique_args.size() + 1) {
+      unique_args.push_back(atom.args[i]);
+    }
+  }
+  return Atom(pred, std::move(unique_args));
+}
+
+core::Database Simplifier::SimplifyDatabase(const core::Database& db) {
+  core::Database out;
+  for (const Atom& fact : db.facts()) {
+    util::Status st = out.AddFact(SimplifyAtom(fact));
+    assert(st.ok());
+    (void)st;
+  }
+  return out;
+}
+
+void Simplifier::EnumerateSpecializations(
+    const std::vector<Term>& distinct_vars,
+    const std::function<void(const std::unordered_map<Term, Term>&)>& cb) {
+  std::unordered_map<Term, Term> f;
+  std::vector<Term> image;  // distinct images chosen so far, in order
+  std::function<void(std::size_t)> recurse = [&](std::size_t i) {
+    if (i == distinct_vars.size()) {
+      cb(f);
+      return;
+    }
+    Term u = distinct_vars[i];
+    // Choice 1: keep u as itself (a fresh image).
+    f[u] = u;
+    image.push_back(u);
+    recurse(i + 1);
+    image.pop_back();
+    // Choice 2: merge with any earlier image.
+    std::set<Term> earlier(image.begin(), image.end());
+    for (Term e : earlier) {
+      f[u] = e;
+      recurse(i + 1);
+    }
+    f.erase(u);
+  };
+  recurse(0);
+}
+
+util::StatusOr<tgd::TgdSet> Simplifier::SimplifyTgds(
+    const tgd::TgdSet& tgds) {
+  tgd::TgdSet out;
+  for (const tgd::Tgd& rule : tgds.tgds()) {
+    if (!rule.IsLinear()) {
+      return util::Status::FailedPrecondition(
+          "simplification is defined for linear TGDs");
+    }
+    const Atom& body_atom = rule.body()[0];
+    // Distinct body variables in first-occurrence order.
+    std::vector<Term> distinct_vars;
+    for (Term t : body_atom.args) {
+      if (std::find(distinct_vars.begin(), distinct_vars.end(), t) ==
+          distinct_vars.end()) {
+        distinct_vars.push_back(t);
+      }
+    }
+
+    std::set<std::pair<std::vector<Atom>, std::vector<Atom>>> emitted;
+    util::Status failure = util::Status::OK();
+    EnumerateSpecializations(
+        distinct_vars, [&](const std::unordered_map<Term, Term>& f) {
+          auto apply = [&](const Atom& a) {
+            Atom mapped = a;
+            for (Term& t : mapped.args) {
+              auto it = f.find(t);
+              if (it != f.end()) t = it->second;
+              // Existential variables are untouched (not in f's domain).
+            }
+            return SimplifyAtom(mapped);
+          };
+          std::vector<Atom> new_body{apply(body_atom)};
+          std::vector<Atom> new_head;
+          new_head.reserve(rule.head().size());
+          for (const Atom& h : rule.head()) new_head.push_back(apply(h));
+          if (!emitted.emplace(new_body, new_head).second) return;
+          auto simplified =
+              tgd::Tgd::Create(std::move(new_body), std::move(new_head));
+          if (!simplified.ok()) {
+            failure = simplified.status();
+            return;
+          }
+          out.Add(std::move(*simplified));
+        });
+    if (!failure.ok()) return failure;
+  }
+  return out;
+}
+
+bool Simplifier::Origin(core::PredicateId simplified,
+                        core::PredicateId* original,
+                        std::vector<std::uint32_t>* pattern) const {
+  auto it = origins_.find(simplified);
+  if (it == origins_.end()) return false;
+  *original = it->second.original;
+  *pattern = it->second.pattern;
+  return true;
+}
+
+}  // namespace rewrite
+}  // namespace nuchase

@@ -1,0 +1,73 @@
+#ifndef NUCHASE_REWRITE_SIMPLIFY_H_
+#define NUCHASE_REWRITE_SIMPLIFY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/database.h"
+#include "core/symbol_table.h"
+#include "tgd/tgd.h"
+#include "util/status.h"
+
+namespace nuchase {
+namespace rewrite {
+
+/// The equality pattern id(t̄) of a tuple (Section 7): id(x,y,x,z,y) =
+/// (1,2,1,3,2), numbering terms by first occurrence.
+std::vector<std::uint32_t> IdPattern(const std::vector<core::Term>& tuple);
+
+/// Implements the simplification technique of Section 7: simple(α),
+/// simple(D) and simple(Σ) for linear Σ. New predicates R_id(t̄) are
+/// interned as "R[1,2,1]" and the registry remembers their origin so the
+/// UCQ decider of Theorem 7.7 can translate simplified predicates back to
+/// (original predicate, pattern) pairs.
+class Simplifier {
+ public:
+  explicit Simplifier(core::SymbolTable* symbols) : symbols_(symbols) {}
+
+  /// simple(α): R_id(t̄)(unique(t̄)).
+  core::Atom SimplifyAtom(const core::Atom& atom);
+
+  /// simple(D): the simplification of every fact.
+  core::Database SimplifyDatabase(const core::Database& db);
+
+  /// simple(Σ): all simplifications of all TGDs induced by
+  /// specializations of their body tuples (Definition 7.2). Structural
+  /// duplicates within one TGD's specializations are removed. Fails if Σ
+  /// is not linear. The size of the result is at most ar(Σ)^ar(Σ) per
+  /// TGD.
+  util::StatusOr<tgd::TgdSet> SimplifyTgds(const tgd::TgdSet& tgds);
+
+  /// Origin of a simplified predicate: the original predicate and the
+  /// equality pattern (1-based ids per position). Returns false for
+  /// predicates this simplifier did not create.
+  bool Origin(core::PredicateId simplified, core::PredicateId* original,
+              std::vector<std::uint32_t>* pattern) const;
+
+ private:
+  struct OriginInfo {
+    core::PredicateId original;
+    std::vector<std::uint32_t> pattern;
+  };
+
+  core::PredicateId InternSimplifiedPredicate(
+      core::PredicateId original, const std::vector<std::uint32_t>& pattern);
+
+  /// Enumerates all specializations f of the distinct variables of `vars`
+  /// (in first-occurrence order): f(u1)=u1, f(ui) ∈ image(u1..u_{i-1}) ∪
+  /// {ui}.
+  static void EnumerateSpecializations(
+      const std::vector<core::Term>& distinct_vars,
+      const std::function<void(
+          const std::unordered_map<core::Term, core::Term>&)>& cb);
+
+  core::SymbolTable* symbols_;
+  std::unordered_map<core::PredicateId, OriginInfo> origins_;
+};
+
+}  // namespace rewrite
+}  // namespace nuchase
+
+#endif  // NUCHASE_REWRITE_SIMPLIFY_H_

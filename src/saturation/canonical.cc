@@ -1,0 +1,49 @@
+#include "saturation/canonical.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace nuchase {
+namespace saturation {
+
+std::string CAtom::ToString(const core::SymbolTable& symbols) const {
+  std::string out = symbols.predicate_name(predicate);
+  out += '(';
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(args[i]);
+  }
+  out += ')';
+  return out;
+}
+
+Canonicalized Canonicalize(const CAtomSet& atoms) {
+  std::vector<std::uint32_t> used;
+  for (const CAtom& a : atoms) {
+    used.insert(used.end(), a.args.begin(), a.args.end());
+  }
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+
+  std::unordered_map<std::uint32_t, std::uint32_t> old_to_new;
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    old_to_new.emplace(used[i], static_cast<std::uint32_t>(i + 1));
+  }
+
+  Canonicalized out;
+  out.new_to_old = used;
+  out.key.num_terms = static_cast<std::uint32_t>(used.size());
+  for (const CAtom& a : atoms) {
+    CAtom renamed = a;
+    for (std::uint32_t& t : renamed.args) t = old_to_new.at(t);
+    out.key.atoms.push_back(std::move(renamed));
+  }
+  std::sort(out.key.atoms.begin(), out.key.atoms.end());
+  out.key.atoms.erase(
+      std::unique(out.key.atoms.begin(), out.key.atoms.end()),
+      out.key.atoms.end());
+  return out;
+}
+
+}  // namespace saturation
+}  // namespace nuchase

@@ -1,0 +1,263 @@
+#include "saturation/type_oracle.h"
+
+#include <algorithm>
+
+namespace nuchase {
+namespace saturation {
+
+using core::Atom;
+using core::Term;
+using util::Status;
+using util::StatusOr;
+
+StatusOr<TypeOracle> TypeOracle::Create(const core::SymbolTable& symbols,
+                                        const tgd::TgdSet& tgds,
+                                        const Options& options) {
+  for (const tgd::Tgd& rule : tgds.tgds()) {
+    if (!rule.IsGuarded()) {
+      return Status::FailedPrecondition(
+          "TypeOracle requires a guarded TGD set");
+    }
+  }
+  return TypeOracle(symbols, tgds, options);
+}
+
+Status TypeOracle::CheckBudget() const {
+  if (memo_.size() > options_.max_worlds) {
+    return Status::ResourceExhausted(
+        "type oracle world budget exceeded (" +
+        std::to_string(options_.max_worlds) + ")");
+  }
+  if (total_atoms_ > options_.max_total_atoms) {
+    return Status::ResourceExhausted("type oracle atom budget exceeded");
+  }
+  return Status::OK();
+}
+
+void TypeOracle::EnumerateHoms(
+    const std::vector<Atom>& body, const CAtomSet& world,
+    const std::function<void(
+        const std::unordered_map<Term, std::uint32_t>&)>& cb) const {
+  // Candidates per body atom, by predicate.
+  std::vector<std::vector<const CAtom*>> candidates(body.size());
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    for (const CAtom& a : world) {
+      if (a.predicate == body[i].predicate) candidates[i].push_back(&a);
+    }
+    if (candidates[i].empty()) return;
+  }
+
+  std::unordered_map<Term, std::uint32_t> h;
+  // Match body atoms left-to-right (the guard is typically leftmost and
+  // binds everything; worlds are small, so no further ordering is needed).
+  std::function<void(std::size_t)> recurse = [&](std::size_t i) {
+    if (i == body.size()) {
+      cb(h);
+      return;
+    }
+    const Atom& pattern = body[i];
+    for (const CAtom* fact : candidates[i]) {
+      std::vector<Term> bound;
+      bool ok = true;
+      for (std::size_t p = 0; p < pattern.args.size(); ++p) {
+        Term v = pattern.args[p];
+        auto it = h.find(v);
+        if (it == h.end()) {
+          h.emplace(v, fact->args[p]);
+          bound.push_back(v);
+        } else if (it->second != fact->args[p]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) recurse(i + 1);
+      for (Term v : bound) h.erase(v);
+    }
+  };
+  recurse(0);
+}
+
+StatusOr<bool> TypeOracle::OnePass(const CKey& key, std::uint32_t depth) {
+  CAtomSet& S = memo_[key];
+  CAtomSet additions;
+
+  for (std::size_t ti = 0; ti < tgds_.size(); ++ti) {
+    const tgd::Tgd& rule = tgds_.tgd(ti);
+
+    // Snapshot the homomorphisms first: Eval() on child worlds must not
+    // run while we iterate S.
+    std::vector<std::unordered_map<Term, std::uint32_t>> homs;
+    EnumerateHoms(rule.body(), S,
+                  [&](const std::unordered_map<Term, std::uint32_t>& h) {
+                    homs.push_back(h);
+                  });
+
+    for (const auto& h : homs) {
+      if (rule.existential().empty()) {
+        for (const Atom& head_atom : rule.head()) {
+          CAtom derived;
+          derived.predicate = head_atom.predicate;
+          derived.args.reserve(head_atom.args.size());
+          for (Term v : head_atom.args) derived.args.push_back(h.at(v));
+          if (!S.count(derived)) additions.insert(std::move(derived));
+        }
+        continue;
+      }
+
+      // Child world: instantiated head atoms (existentials get fresh
+      // integers above the world's term range) plus the current atoms
+      // over the frontier images.
+      std::unordered_map<Term, std::uint32_t> extended = h;
+      std::uint32_t next_fresh = key.num_terms + 1;
+      for (Term z : rule.existential()) extended.emplace(z, next_fresh++);
+
+      std::unordered_set<std::uint32_t> frontier_images;
+      for (Term x : rule.frontier()) frontier_images.insert(h.at(x));
+
+      CAtomSet world;
+      for (const Atom& head_atom : rule.head()) {
+        CAtom derived;
+        derived.predicate = head_atom.predicate;
+        derived.args.reserve(head_atom.args.size());
+        for (Term v : head_atom.args) derived.args.push_back(extended.at(v));
+        world.insert(std::move(derived));
+      }
+      for (const CAtom& beta : S) {
+        bool visible = true;
+        for (std::uint32_t t : beta.args) {
+          if (!frontier_images.count(t)) {
+            visible = false;
+            break;
+          }
+        }
+        if (visible) world.insert(beta);
+      }
+
+      Canonicalized canon = Canonicalize(world);
+      NUCHASE_RETURN_IF_ERROR(Eval(canon.key, depth + 1));
+
+      const CAtomSet& child_result = memo_.at(canon.key);
+      for (const CAtom& atom : child_result) {
+        CAtom translated = atom;
+        bool has_fresh = false;
+        for (std::uint32_t& t : translated.args) {
+          std::uint32_t original = canon.new_to_old[t - 1];
+          if (original > key.num_terms) {  // a fresh (existential) term
+            has_fresh = true;
+            break;
+          }
+          t = original;
+        }
+        if (has_fresh) continue;
+        if (!S.count(translated)) additions.insert(std::move(translated));
+      }
+    }
+  }
+
+  if (additions.empty()) return false;
+  for (const CAtom& a : additions) {
+    S.insert(a);
+    ++total_atoms_;
+  }
+  NUCHASE_RETURN_IF_ERROR(CheckBudget());
+  return true;
+}
+
+Status TypeOracle::Eval(const CKey& key, std::uint32_t depth) {
+  if (depth > options_.max_recursion) {
+    return Status::ResourceExhausted("type oracle recursion too deep");
+  }
+  auto it = memo_.find(key);
+  if (it == memo_.end()) {
+    memo_.emplace(key, CAtomSet(key.atoms.begin(), key.atoms.end()));
+    total_atoms_ += key.atoms.size();
+    NUCHASE_RETURN_IF_ERROR(CheckBudget());
+  }
+  if (in_progress_.count(key)) return Status::OK();
+
+  in_progress_.insert(key);
+  while (true) {
+    StatusOr<bool> changed = OnePass(key, depth);
+    if (!changed.ok()) {
+      in_progress_.erase(key);
+      return changed.status();
+    }
+    if (!*changed) break;
+    global_changed_ = true;
+  }
+  in_progress_.erase(key);
+  return Status::OK();
+}
+
+StatusOr<CAtomSet> TypeOracle::CompleteCanonical(const CAtomSet& world) {
+  Canonicalized canon = Canonicalize(world);
+  do {
+    global_changed_ = false;
+    NUCHASE_RETURN_IF_ERROR(Eval(canon.key, 0));
+  } while (global_changed_);
+
+  CAtomSet out;
+  for (const CAtom& atom : memo_.at(canon.key)) {
+    CAtom translated = atom;
+    for (std::uint32_t& t : translated.args) t = canon.new_to_old[t - 1];
+    out.insert(std::move(translated));
+  }
+  return out;
+}
+
+StatusOr<std::vector<Atom>> TypeOracle::Complete(
+    const std::vector<Atom>& atoms) {
+  // Map terms to local integers (by ascending bit pattern: deterministic).
+  std::vector<Term> terms;
+  for (const Atom& a : atoms) {
+    for (Term t : a.args) {
+      if (t.IsVariable()) {
+        return Status::InvalidArgument(
+            "Complete() expects ground atoms (constants/nulls)");
+      }
+      terms.push_back(t);
+    }
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  std::unordered_map<Term, std::uint32_t> to_int;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    to_int.emplace(terms[i], static_cast<std::uint32_t>(i + 1));
+  }
+
+  CAtomSet world;
+  for (const Atom& a : atoms) {
+    CAtom c;
+    c.predicate = a.predicate;
+    c.args.reserve(a.args.size());
+    for (Term t : a.args) c.args.push_back(to_int.at(t));
+    world.insert(std::move(c));
+  }
+
+  auto completed = CompleteCanonical(world);
+  if (!completed.ok()) return completed.status();
+
+  std::vector<Atom> out;
+  out.reserve(completed->size());
+  for (const CAtom& c : *completed) {
+    Atom a;
+    a.predicate = c.predicate;
+    a.args.reserve(c.args.size());
+    for (std::uint32_t t : c.args) a.args.push_back(terms[t - 1]);
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+StatusOr<bool> TypeOracle::EntailsPropositional(const core::Database& db,
+                                                core::PredicateId pred) {
+  auto completed = Complete(db.facts());
+  if (!completed.ok()) return completed.status();
+  for (const Atom& a : *completed) {
+    if (a.predicate == pred && a.args.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace saturation
+}  // namespace nuchase

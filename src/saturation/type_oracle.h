@@ -1,0 +1,104 @@
+#ifndef NUCHASE_SATURATION_TYPE_ORACLE_H_
+#define NUCHASE_SATURATION_TYPE_ORACLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/database.h"
+#include "core/symbol_table.h"
+#include "saturation/canonical.h"
+#include "tgd/tgd.h"
+#include "util/status.h"
+
+namespace nuchase {
+namespace saturation {
+
+/// Guarded saturation: computes complete(I, Σ) — the atoms over dom(I)
+/// that belong to chase(I, Σ) — for a guarded set Σ (Appendix E,
+/// "Auxiliary Notions"). This is the substrate of the linearization of
+/// Section 8 (computing types and their completions) and also yields a
+/// decider for propositional atom entailment PAE(G).
+///
+/// Algorithm: a memoized monotone fixpoint over canonical worlds (the
+/// recursion behind Lemma 6 of [19]). For a world W:
+///   1. every trigger (σ, h) on W whose head atoms use only frontier
+///      variables contributes those atoms directly, and
+///   2. every trigger with existential variables spawns a child world —
+///      the instantiated head atoms plus the current atoms of W over the
+///      frontier images — whose own completion, restricted to non-fresh
+///      terms, flows back into W.
+/// Memo entries grow monotonically inside finite lattices (all worlds
+/// except the root have at most ar(Σ) + #existentials terms), so the
+/// global fixpoint terminates; budgets bound the exponential type space.
+class TypeOracle {
+ public:
+  struct Options {
+    /// Maximum number of memoized worlds before ResourceExhausted.
+    std::uint64_t max_worlds = 200000;
+    /// Maximum total atoms across all memo entries.
+    std::uint64_t max_total_atoms = 5'000'000;
+    /// Maximum recursion depth through child worlds.
+    std::uint32_t max_recursion = 4096;
+  };
+
+  /// Fails (FailedPrecondition) if Σ is not guarded.
+  static util::StatusOr<TypeOracle> Create(const core::SymbolTable& symbols,
+                                           const tgd::TgdSet& tgds,
+                                           const Options& options);
+
+  /// complete(I, Σ) for an instance given as atoms over constants/nulls
+  /// (no variables). The result contains the input atoms.
+  util::StatusOr<std::vector<core::Atom>> Complete(
+      const std::vector<core::Atom>& atoms);
+
+  /// complete(·) over canonical worlds (used by the linearizer, whose
+  /// Σ-types already live in integer-term form). The returned set is in
+  /// the *canonical* numbering of `world` — callers translate via the
+  /// Canonicalized mapping they obtained.
+  util::StatusOr<CAtomSet> CompleteCanonical(const CAtomSet& world);
+
+  /// PAE (Theorem 8.5): is the 0-ary atom `pred`() in chase(D, Σ)?
+  util::StatusOr<bool> EntailsPropositional(const core::Database& db,
+                                            core::PredicateId pred);
+
+  std::size_t memo_size() const { return memo_.size(); }
+
+ private:
+  TypeOracle(const core::SymbolTable& symbols, const tgd::TgdSet& tgds,
+             const Options& options)
+      : symbols_(symbols), tgds_(tgds), options_(options) {}
+
+  /// Evaluates the world to a local fixpoint using current memo values for
+  /// children; sets global_changed_ when any memo entry grows.
+  util::Status Eval(const CKey& key, std::uint32_t depth);
+
+  /// One pass over all triggers of the world; returns whether S grew.
+  util::StatusOr<bool> OnePass(const CKey& key, std::uint32_t depth);
+
+  /// Enumerates homomorphisms of `body` into `world` (atoms indexed by
+  /// predicate); h maps variables to local integers.
+  void EnumerateHoms(
+      const std::vector<core::Atom>& body, const CAtomSet& world,
+      const std::function<void(
+          const std::unordered_map<core::Term, std::uint32_t>&)>& cb) const;
+
+  util::Status CheckBudget() const;
+
+  const core::SymbolTable& symbols_;
+  const tgd::TgdSet& tgds_;
+  Options options_;
+
+  std::unordered_map<CKey, CAtomSet, CKeyHash> memo_;
+  std::unordered_set<CKey, CKeyHash> in_progress_;
+  bool global_changed_ = false;
+  std::uint64_t total_atoms_ = 0;
+};
+
+}  // namespace saturation
+}  // namespace nuchase
+
+#endif  // NUCHASE_SATURATION_TYPE_ORACLE_H_

@@ -1,0 +1,64 @@
+#include "termination/advisor.h"
+
+#include "termination/bounds.h"
+#include "termination/syntactic_decider.h"
+
+namespace nuchase {
+namespace termination {
+
+util::StatusOr<AdvisorReport> Advise(core::SymbolTable* symbols,
+                                     const tgd::TgdSet& tgds,
+                                     const core::Database& db,
+                                     const AdvisorOptions& options) {
+  AdvisorReport report;
+  report.tgd_class = tgd::Classify(tgds);
+  report.depth_bound = DepthBound(report.tgd_class, tgds, *symbols);
+  report.size_bound = static_cast<double>(db.size()) *
+                      SizeFactor(report.tgd_class, tgds, *symbols);
+
+  if (report.tgd_class == tgd::TgdClass::kGeneral) {
+    // Undecidable in general (Proposition 4.2): best effort via the
+    // bounded chase; only termination within budget is a certificate.
+    NaiveDecision naive =
+        DecideByChase(symbols, tgds, db, options.max_atoms);
+    report.decision = naive.decision;
+    report.method = "bounded-chase";
+  } else {
+    rewrite::LinearizeOptions lin_options;
+    lin_options.max_types = options.max_types;
+    util::StatusOr<SyntacticDecision> syn =
+        report.tgd_class == tgd::TgdClass::kGuarded
+            ? DecideGuarded(symbols, tgds, db, lin_options)
+            : Decide(symbols, tgds, db);
+    if (!syn.ok()) return syn.status();
+    report.decision = syn->decision;
+    switch (report.tgd_class) {
+      case tgd::TgdClass::kSimpleLinear:
+        report.method = "weak-acyclicity";
+        break;
+      case tgd::TgdClass::kLinear:
+        report.method = "simplification+WA";
+        break;
+      default:
+        report.method = "linearization+simplification+WA";
+        break;
+    }
+  }
+
+  if (options.materialize && report.decision == Decision::kTerminates) {
+    chase::ChaseOptions chase_options;
+    chase_options.max_atoms = options.max_atoms;
+    chase::ChaseResult result =
+        chase::RunChase(symbols, tgds, db, chase_options);
+    if (!result.Terminated()) {
+      return util::Status::ResourceExhausted(
+          "decider certified termination but the materialization budget "
+          "was exceeded; raise AdvisorOptions::max_atoms");
+    }
+    report.materialization = std::move(result);
+  }
+  return report;
+}
+
+}  // namespace termination
+}  // namespace nuchase

@@ -1,0 +1,48 @@
+#include "termination/looping.h"
+
+namespace nuchase {
+namespace termination {
+
+util::StatusOr<LoopedProgram> ApplyLoopingOperator(
+    core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+    const core::Database& db, core::PredicateId goal,
+    const std::string& loop_predicate) {
+  if (symbols->arity(goal) != 0) {
+    return util::Status::InvalidArgument(
+        "the looping operator's goal must be a 0-ary predicate");
+  }
+  for (core::PredicateId pred : tgds.SchemaPredicates()) {
+    if (symbols->predicate_name(pred) == loop_predicate) {
+      return util::Status::InvalidArgument(
+          "loop predicate '" + loop_predicate + "' already occurs in "
+          "sch(Sigma); pick a fresh name");
+    }
+  }
+  auto loop = symbols->InternPredicate(loop_predicate, 2);
+  if (!loop.ok()) return loop.status();
+
+  LoopedProgram out;
+  for (const tgd::Tgd& rule : tgds.tgds()) {
+    out.tgds.Add(rule);
+  }
+  // R(), Loop(x, y) → ∃z Loop(y, z). Guard: Loop(x, y).
+  core::Term x = symbols->InternVariable("loop__x");
+  core::Term y = symbols->InternVariable("loop__y");
+  core::Term z = symbols->InternVariable("loop__z");
+  auto rule = tgd::Tgd::Create(
+      {core::Atom(goal, {}), core::Atom(*loop, {x, y})},
+      {core::Atom(*loop, {y, z})});
+  if (!rule.ok()) return rule.status();
+  out.tgds.Add(std::move(*rule));
+
+  for (const core::Atom& fact : db.facts()) {
+    NUCHASE_RETURN_IF_ERROR(out.database.AddFact(fact));
+  }
+  NUCHASE_RETURN_IF_ERROR(
+      out.database.AddFact(symbols, loop_predicate,
+                           {"loop__c0", "loop__c1"}));
+  return out;
+}
+
+}  // namespace termination
+}  // namespace nuchase

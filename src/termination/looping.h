@@ -1,0 +1,41 @@
+#ifndef NUCHASE_TERMINATION_LOOPING_H_
+#define NUCHASE_TERMINATION_LOOPING_H_
+
+#include "core/database.h"
+#include "core/symbol_table.h"
+#include "tgd/tgd.h"
+#include "util/status.h"
+
+namespace nuchase {
+namespace termination {
+
+/// Output of the looping operator.
+struct LoopedProgram {
+  tgd::TgdSet tgds;
+  core::Database database;
+};
+
+/// The looping operator of [8] (used by the paper for the
+/// PTIME-hardness of ChTrm(G) in data complexity, Theorem 8.5): given
+/// (D, Σ) and a 0-ary goal predicate R, produce (D', Σ') with
+///   Σ' = Σ ∪ { R(), Loop(x, y) → ∃z Loop(y, z) },
+///   D' = D ∪ { Loop(c₀, c₁) },
+/// so that
+///   R() ∈ chase(D, Σ)   iff   Σ' ∉ CT_{D'}.
+/// The added rule is guarded (Loop(x, y) guards both variables; R()
+/// adds none), so Σ ∈ G implies Σ' ∈ G: propositional atom entailment
+/// reduces to the COMPLEMENT of non-uniform chase termination within
+/// the guarded class. `loop_predicate` names the fresh binary predicate
+/// (must not occur in sch(Σ)).
+///
+/// Fails (InvalidArgument) if `goal` is not 0-ary or the loop predicate
+/// already occurs in Σ.
+util::StatusOr<LoopedProgram> ApplyLoopingOperator(
+    core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+    const core::Database& db, core::PredicateId goal,
+    const std::string& loop_predicate = "Loop__");
+
+}  // namespace termination
+}  // namespace nuchase
+
+#endif  // NUCHASE_TERMINATION_LOOPING_H_

@@ -1,0 +1,85 @@
+#include "termination/naive_decider.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "termination/bounds.h"
+
+namespace nuchase {
+namespace termination {
+
+const char* DecisionName(Decision d) {
+  switch (d) {
+    case Decision::kTerminates:
+      return "terminates";
+    case Decision::kDoesNotTerminate:
+      return "does-not-terminate";
+    case Decision::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+NaiveDecision DecideByChase(core::SymbolTable* symbols,
+                            const tgd::TgdSet& tgds,
+                            const core::Database& db,
+                            std::uint64_t hard_atom_cap) {
+  NaiveDecision out;
+  tgd::TgdClass clazz = tgd::Classify(tgds);
+  out.depth_bound = DepthBound(clazz, tgds, *symbols);
+  out.size_bound =
+      static_cast<double>(db.size()) * SizeFactor(clazz, tgds, *symbols);
+
+  chase::ChaseOptions options;
+  // Depth budget: exceeding d_C(Σ) certifies non-termination
+  // (Lemmas 6.2 / 7.4 / 8.2 via Theorems 6.4 / 7.5 / 8.3).
+  bool depth_budget_exact = false;
+  if (std::isfinite(out.depth_bound) &&
+      out.depth_bound < static_cast<double>(
+                            std::numeric_limits<std::uint32_t>::max())) {
+    options.max_depth = static_cast<std::uint32_t>(out.depth_bound);
+    depth_budget_exact = true;
+  }
+  // Atom budget: exceeding |D|·f_C(Σ) certifies non-termination
+  // (items (2) of the same theorems).
+  bool atom_budget_exact = false;
+  options.max_atoms = hard_atom_cap;
+  if (std::isfinite(out.size_bound) &&
+      out.size_bound < static_cast<double>(hard_atom_cap)) {
+    options.max_atoms = static_cast<std::uint64_t>(out.size_bound);
+    atom_budget_exact = true;
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  chase::ChaseResult result = chase::RunChase(symbols, tgds, db, options);
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  out.outcome = result.outcome;
+  out.atoms = result.instance.size();
+  out.max_depth = result.stats.max_depth;
+
+  switch (result.outcome) {
+    case chase::ChaseOutcome::kTerminated:
+      out.decision = Decision::kTerminates;
+      break;
+    case chase::ChaseOutcome::kDepthLimit:
+      out.decision = depth_budget_exact ? Decision::kDoesNotTerminate
+                                        : Decision::kUnknown;
+      break;
+    case chase::ChaseOutcome::kAtomLimit:
+      out.decision = atom_budget_exact ? Decision::kDoesNotTerminate
+                                       : Decision::kUnknown;
+      break;
+    case chase::ChaseOutcome::kRoundLimit:
+      out.decision = Decision::kUnknown;
+      break;
+  }
+  return out;
+}
+
+}  // namespace termination
+}  // namespace nuchase

@@ -1,0 +1,106 @@
+#include "termination/syntactic_decider.h"
+
+#include <chrono>
+
+#include "graph/weak_acyclicity.h"
+#include "rewrite/simplify.h"
+
+namespace nuchase {
+namespace termination {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+util::StatusOr<SyntacticDecision> DecideSimpleLinear(
+    core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+    const core::Database& db) {
+  for (const tgd::Tgd& rule : tgds.tgds()) {
+    if (!rule.IsSimpleLinear()) {
+      return util::Status::FailedPrecondition(
+          "DecideSimpleLinear requires Σ ∈ SL");
+    }
+  }
+  auto start = Clock::now();
+  SyntacticDecision out;
+  out.used_class = tgd::TgdClass::kSimpleLinear;
+  graph::WeakAcyclicityResult wa =
+      graph::CheckWeakAcyclicity(tgds, db, *symbols);
+  out.decision = wa.weakly_acyclic ? Decision::kTerminates
+                                   : Decision::kDoesNotTerminate;
+  out.seconds = Seconds(start);
+  return out;
+}
+
+util::StatusOr<SyntacticDecision> DecideLinear(core::SymbolTable* symbols,
+                                               const tgd::TgdSet& tgds,
+                                               const core::Database& db) {
+  for (const tgd::Tgd& rule : tgds.tgds()) {
+    if (!rule.IsLinear()) {
+      return util::Status::FailedPrecondition(
+          "DecideLinear requires Σ ∈ L");
+    }
+  }
+  auto start = Clock::now();
+  rewrite::Simplifier simplifier(symbols);
+  auto simple_tgds = simplifier.SimplifyTgds(tgds);
+  if (!simple_tgds.ok()) return simple_tgds.status();
+  core::Database simple_db = simplifier.SimplifyDatabase(db);
+
+  SyntacticDecision out;
+  out.used_class = tgd::TgdClass::kLinear;
+  out.simple_tgds = simple_tgds->size();
+  graph::WeakAcyclicityResult wa =
+      graph::CheckWeakAcyclicity(*simple_tgds, simple_db, *symbols);
+  out.decision = wa.weakly_acyclic ? Decision::kTerminates
+                                   : Decision::kDoesNotTerminate;
+  out.seconds = Seconds(start);
+  return out;
+}
+
+util::StatusOr<SyntacticDecision> DecideGuarded(
+    core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+    const core::Database& db, const rewrite::LinearizeOptions& options) {
+  auto start = Clock::now();
+  auto gsimple = rewrite::GSimplify(db, tgds, symbols, options);
+  if (!gsimple.ok()) return gsimple.status();
+
+  SyntacticDecision out;
+  out.used_class = tgd::TgdClass::kGuarded;
+  out.simple_tgds = gsimple->tgds.size();
+  out.lin_types = gsimple->num_types;
+  out.lin_tgds = gsimple->num_linear_tgds;
+  graph::WeakAcyclicityResult wa = graph::CheckWeakAcyclicity(
+      gsimple->tgds, gsimple->database, *symbols);
+  out.decision = wa.weakly_acyclic ? Decision::kTerminates
+                                   : Decision::kDoesNotTerminate;
+  out.seconds = Seconds(start);
+  return out;
+}
+
+util::StatusOr<SyntacticDecision> Decide(core::SymbolTable* symbols,
+                                         const tgd::TgdSet& tgds,
+                                         const core::Database& db) {
+  switch (tgd::Classify(tgds)) {
+    case tgd::TgdClass::kSimpleLinear:
+      return DecideSimpleLinear(symbols, tgds, db);
+    case tgd::TgdClass::kLinear:
+      return DecideLinear(symbols, tgds, db);
+    case tgd::TgdClass::kGuarded:
+      return DecideGuarded(symbols, tgds, db);
+    case tgd::TgdClass::kGeneral:
+      return util::Status::FailedPrecondition(
+          "ChTrm is undecidable for arbitrary TGDs (Proposition 4.2); "
+          "no syntactic decider applies");
+  }
+  return util::Status::Internal("unreachable");
+}
+
+}  // namespace termination
+}  // namespace nuchase

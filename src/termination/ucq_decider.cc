@@ -1,0 +1,87 @@
+#include "termination/ucq_decider.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "graph/weak_acyclicity.h"
+#include "query/evaluator.h"
+#include "rewrite/simplify.h"
+#include "tgd/classify.h"
+
+namespace nuchase {
+namespace termination {
+
+namespace {
+
+/// Disjunct ∃x̄ R(x_{ℓ1}, ..., x_{ℓn}) for original predicate R and
+/// equality pattern ℓ̄ (for SL the pattern is the identity).
+query::ConjunctiveQuery MakeDisjunct(core::SymbolTable* symbols,
+                                     core::PredicateId pred,
+                                     const std::vector<std::uint32_t>&
+                                         pattern) {
+  query::ConjunctiveQuery cq;
+  std::vector<core::Term> args;
+  args.reserve(pattern.size());
+  for (std::uint32_t id : pattern) {
+    args.push_back(symbols->InternVariable(
+        "Xq_" + symbols->predicate_name(pred) + "_" + std::to_string(id)));
+  }
+  cq.atoms.emplace_back(pred, std::move(args));
+  return cq;
+}
+
+}  // namespace
+
+util::StatusOr<query::UnionOfConjunctiveQueries> BuildTerminationUcq(
+    core::SymbolTable* symbols, const tgd::TgdSet& tgds) {
+  query::UnionOfConjunctiveQueries ucq;
+  tgd::TgdClass clazz = tgd::Classify(tgds);
+
+  if (clazz == tgd::TgdClass::kSimpleLinear) {
+    // Theorem 6.6: P_Σ directly over sch(Σ).
+    for (core::PredicateId pred :
+         graph::SupportPredicates(tgds, *symbols)) {
+      std::vector<std::uint32_t> identity;
+      for (std::uint32_t i = 1; i <= symbols->arity(pred); ++i) {
+        identity.push_back(i);
+      }
+      ucq.disjuncts.push_back(MakeDisjunct(symbols, pred, identity));
+    }
+    return ucq;
+  }
+
+  if (clazz == tgd::TgdClass::kLinear) {
+    // Theorem 7.7: P_simple(Σ), translated back through the simplifier's
+    // origin registry into (predicate, pattern) pairs.
+    rewrite::Simplifier simplifier(symbols);
+    auto simple_tgds = simplifier.SimplifyTgds(tgds);
+    if (!simple_tgds.ok()) return simple_tgds.status();
+    for (core::PredicateId simplified :
+         graph::SupportPredicates(*simple_tgds, *symbols)) {
+      core::PredicateId original = core::kInvalidPredicate;
+      std::vector<std::uint32_t> pattern;
+      if (!simplifier.Origin(simplified, &original, &pattern)) {
+        // A predicate of simple(Σ) not minted by this simplifier cannot
+        // occur; defensive skip.
+        continue;
+      }
+      ucq.disjuncts.push_back(MakeDisjunct(symbols, original, pattern));
+    }
+    return ucq;
+  }
+
+  return util::Status::FailedPrecondition(
+      "the UCQ-based data-complexity decider applies to SL and L only");
+}
+
+util::StatusOr<Decision> DecideByUcq(core::SymbolTable* symbols,
+                                     const tgd::TgdSet& tgds,
+                                     const core::Database& db) {
+  auto ucq = BuildTerminationUcq(symbols, tgds);
+  if (!ucq.ok()) return ucq.status();
+  return query::Satisfies(db, *ucq) ? Decision::kDoesNotTerminate
+                                    : Decision::kTerminates;
+}
+
+}  // namespace termination
+}  // namespace nuchase

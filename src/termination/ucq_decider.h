@@ -1,0 +1,35 @@
+#ifndef NUCHASE_TERMINATION_UCQ_DECIDER_H_
+#define NUCHASE_TERMINATION_UCQ_DECIDER_H_
+
+#include "core/database.h"
+#include "core/symbol_table.h"
+#include "query/ucq.h"
+#include "termination/naive_decider.h"
+#include "tgd/tgd.h"
+#include "util/status.h"
+
+namespace nuchase {
+namespace termination {
+
+/// Builds the UCQ Q_Σ of Theorem 6.6 (Σ ∈ SL) or Theorem 7.7 (Σ ∈ L),
+/// which depends only on Σ: Σ is not D-weakly-acyclic (resp. simple(Σ)
+/// not simple(D)-weakly-acyclic) iff D satisfies Q_Σ. The AC0
+/// data-complexity procedure is: precompute Q_Σ, then evaluate it over D.
+///
+/// For SL, Q_Σ has a disjunct ∃x̄ R(x̄) per R ∈ P_Σ. For L, the disjunct
+/// for the simplified predicate R_ℓ̄ is R(x_ℓ1, ..., x_ℓn) — repeated
+/// variables encode the equality pattern (Appendix E).
+util::StatusOr<query::UnionOfConjunctiveQueries> BuildTerminationUcq(
+    core::SymbolTable* symbols, const tgd::TgdSet& tgds);
+
+/// The data-complexity decision: Σ ∈ CT_D iff D does not satisfy Q_Σ.
+/// (Evaluate a prebuilt Q_Σ with query::Satisfies to amortize the
+/// Σ-dependent construction across databases.)
+util::StatusOr<Decision> DecideByUcq(core::SymbolTable* symbols,
+                                     const tgd::TgdSet& tgds,
+                                     const core::Database& db);
+
+}  // namespace termination
+}  // namespace nuchase
+
+#endif  // NUCHASE_TERMINATION_UCQ_DECIDER_H_

@@ -1,0 +1,28 @@
+#include "termination/uniform.h"
+
+#include <vector>
+
+namespace nuchase {
+namespace termination {
+
+core::Database MakeCriticalDatabase(core::SymbolTable* symbols,
+                                    const tgd::TgdSet& tgds,
+                                    const std::string& constant) {
+  core::Database db;
+  core::Term c = symbols->InternConstant(constant);
+  for (core::PredicateId pred : tgds.SchemaPredicates()) {
+    std::vector<core::Term> args(symbols->arity(pred), c);
+    util::Status st = db.AddFact(core::Atom(pred, std::move(args)));
+    (void)st;  // cannot fail: all arguments are constants
+  }
+  return db;
+}
+
+util::StatusOr<SyntacticDecision> DecideUniform(
+    core::SymbolTable* symbols, const tgd::TgdSet& tgds) {
+  core::Database critical = MakeCriticalDatabase(symbols, tgds);
+  return Decide(symbols, tgds, critical);
+}
+
+}  // namespace termination
+}  // namespace nuchase

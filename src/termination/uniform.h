@@ -1,0 +1,38 @@
+#ifndef NUCHASE_TERMINATION_UNIFORM_H_
+#define NUCHASE_TERMINATION_UNIFORM_H_
+
+#include "core/database.h"
+#include "core/symbol_table.h"
+#include "termination/naive_decider.h"
+#include "termination/syntactic_decider.h"
+#include "tgd/tgd.h"
+#include "util/status.h"
+
+namespace nuchase {
+namespace termination {
+
+/// The critical database D_Σ of [8] (used by the paper's hardness
+/// arguments, Section 6): every atom that can be formed from the
+/// predicates of sch(Σ) and one fixed constant,
+///   D_Σ = { R(c, ..., c) | R ∈ sch(Σ) }.
+///
+/// For the semi-oblivious chase, termination on D_Σ is equivalent to
+/// termination on EVERY database (Marnette [23]): any database maps
+/// homomorphically onto D_Σ, and semi-oblivious derivations transfer
+/// along homomorphisms. This turns the uniform problem into one
+/// non-uniform instance.
+core::Database MakeCriticalDatabase(core::SymbolTable* symbols,
+                                    const tgd::TgdSet& tgds,
+                                    const std::string& constant = "crit");
+
+/// Uniform semi-oblivious chase termination: is Σ ∈ CT (i.e. Σ ∈ CT_D
+/// for every database D)? Decided as ChTrm(D_Σ, Σ) via the
+/// class-appropriate syntactic procedure. Fails (FailedPrecondition)
+/// for non-guarded sets, where the problem is undecidable.
+util::StatusOr<SyntacticDecision> DecideUniform(core::SymbolTable* symbols,
+                                                const tgd::TgdSet& tgds);
+
+}  // namespace termination
+}  // namespace nuchase
+
+#endif  // NUCHASE_TERMINATION_UNIFORM_H_

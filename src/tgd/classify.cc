@@ -1,0 +1,41 @@
+#include "tgd/classify.h"
+
+namespace nuchase {
+namespace tgd {
+
+const char* TgdClassName(TgdClass c) {
+  switch (c) {
+    case TgdClass::kSimpleLinear:
+      return "SL";
+    case TgdClass::kLinear:
+      return "L";
+    case TgdClass::kGuarded:
+      return "G";
+    case TgdClass::kGeneral:
+      return "TGD";
+  }
+  return "?";
+}
+
+TgdClass Classify(const Tgd& tgd) {
+  if (tgd.IsSimpleLinear()) return TgdClass::kSimpleLinear;
+  if (tgd.IsLinear()) return TgdClass::kLinear;
+  if (tgd.IsGuarded()) return TgdClass::kGuarded;
+  return TgdClass::kGeneral;
+}
+
+TgdClass Classify(const TgdSet& tgds) {
+  TgdClass out = TgdClass::kSimpleLinear;
+  for (const Tgd& t : tgds.tgds()) {
+    TgdClass c = Classify(t);
+    if (!ClassContainedIn(c, out)) out = c;
+  }
+  return out;
+}
+
+bool ClassContainedIn(TgdClass a, TgdClass b) {
+  return static_cast<int>(a) <= static_cast<int>(b);
+}
+
+}  // namespace tgd
+}  // namespace nuchase

@@ -1,0 +1,36 @@
+#ifndef NUCHASE_TGD_CLASSIFY_H_
+#define NUCHASE_TGD_CLASSIFY_H_
+
+#include <string>
+
+#include "tgd/tgd.h"
+
+namespace nuchase {
+namespace tgd {
+
+/// The classes of TGD sets studied in the paper: SL ⊊ L ⊊ G ⊊ TGD
+/// (Section 2, "Guardedness").
+enum class TgdClass {
+  kSimpleLinear,  ///< SL: one body atom, no repeated body variable.
+  kLinear,        ///< L: one body atom.
+  kGuarded,       ///< G: some body atom guards all body variables.
+  kGeneral,       ///< Arbitrary TGDs.
+};
+
+/// Human-readable class name ("SL", "L", "G", "TGD").
+const char* TgdClassName(TgdClass c);
+
+/// The most specific class containing the given TGD.
+TgdClass Classify(const Tgd& tgd);
+
+/// The most specific class containing every TGD of the set (the class of
+/// Σ). The empty set classifies as SL.
+TgdClass Classify(const TgdSet& tgds);
+
+/// True iff class `a` is contained in class `b` (e.g. SL ⊆ G).
+bool ClassContainedIn(TgdClass a, TgdClass b);
+
+}  // namespace tgd
+}  // namespace nuchase
+
+#endif  // NUCHASE_TGD_CLASSIFY_H_

@@ -1,0 +1,284 @@
+#include "tgd/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace nuchase {
+namespace tgd {
+namespace {
+
+using core::Atom;
+using core::Term;
+using util::Status;
+using util::StatusOr;
+
+enum class TokKind { kIdent, kLParen, kRParen, kComma, kArrow, kDot, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::size_t line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' || c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '(') {
+        out.push_back({TokKind::kLParen, "(", line_});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({TokKind::kRParen, ")", line_});
+        ++pos_;
+      } else if (c == ',') {
+        out.push_back({TokKind::kComma, ",", line_});
+        ++pos_;
+      } else if (c == '.') {
+        out.push_back({TokKind::kDot, ".", line_});
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '>') {
+        out.push_back({TokKind::kArrow, "->", line_});
+        pos_ += 2;
+      } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                 c == '[' ) {
+        // Identifiers: alphanumerics plus _ ' [ ] | { } so that generated
+        // predicate names like "R[1,2,1]" round-trip. Brackets must
+        // balance; commas inside brackets belong to the identifier.
+        std::size_t start = pos_;
+        int bracket_depth = 0;
+        while (pos_ < text_.size()) {
+          char d = text_[pos_];
+          if (d == '[' || d == '{') {
+            ++bracket_depth;
+          } else if (d == ']' || d == '}') {
+            --bracket_depth;
+          } else if (bracket_depth > 0) {
+            // anything except a newline is allowed inside brackets
+            if (d == '\n') break;
+          } else if (!(std::isalnum(static_cast<unsigned char>(d)) ||
+                       d == '_' || d == '\'')) {
+            break;
+          }
+          ++pos_;
+        }
+        out.push_back({TokKind::kIdent, text_.substr(start, pos_ - start),
+                       line_});
+      } else {
+        return Status::InvalidArgument("line " + std::to_string(line_) +
+                                       ": unexpected character '" +
+                                       std::string(1, c) + "'");
+      }
+    }
+    out.push_back({TokKind::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(core::SymbolTable* symbols, std::vector<Token> tokens)
+      : symbols_(symbols), tokens_(std::move(tokens)) {}
+
+  StatusOr<Program> ParseAll() {
+    Program program;
+    while (Peek().kind != TokKind::kEnd) {
+      NUCHASE_RETURN_IF_ERROR(ParseStatement(&program));
+    }
+    return program;
+  }
+
+ private:
+  Status ParseStatement(Program* program) {
+    // Parse a comma-separated atom list; decide fact vs rule at '->'/'.'.
+    std::vector<RawAtom> first;
+    NUCHASE_RETURN_IF_ERROR(ParseAtomList(&first));
+    if (Peek().kind == TokKind::kArrow) {
+      Advance();
+      std::vector<RawAtom> second;
+      NUCHASE_RETURN_IF_ERROR(ParseAtomList(&second));
+      NUCHASE_RETURN_IF_ERROR(Expect(TokKind::kDot));
+      auto body = MaterializeAtoms(first, /*as_variables=*/true);
+      if (!body.ok()) return body.status();
+      auto head = MaterializeAtoms(second, /*as_variables=*/true);
+      if (!head.ok()) return head.status();
+      auto rule = Tgd::Create(std::move(*body), std::move(*head));
+      if (!rule.ok()) return rule.status();
+      program->tgds.Add(std::move(*rule));
+      return Status::OK();
+    }
+    NUCHASE_RETURN_IF_ERROR(Expect(TokKind::kDot));
+    auto facts = MaterializeAtoms(first, /*as_variables=*/false);
+    if (!facts.ok()) return facts.status();
+    for (Atom& f : *facts) {
+      NUCHASE_RETURN_IF_ERROR(program->database.AddFact(std::move(f)));
+    }
+    return Status::OK();
+  }
+
+  struct RawAtom {
+    std::string predicate;
+    std::vector<std::string> args;
+    std::size_t line;
+  };
+
+  Status ParseAtomList(std::vector<RawAtom>* out) {
+    while (true) {
+      RawAtom atom;
+      NUCHASE_RETURN_IF_ERROR(ParseAtom(&atom));
+      out->push_back(std::move(atom));
+      if (Peek().kind == TokKind::kComma) {
+        Advance();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status ParseAtom(RawAtom* out) {
+    const Token& name = Peek();
+    if (name.kind != TokKind::kIdent) {
+      return SyntaxError("expected predicate name");
+    }
+    out->predicate = name.text;
+    out->line = name.line;
+    Advance();
+    NUCHASE_RETURN_IF_ERROR(Expect(TokKind::kLParen));
+    if (Peek().kind == TokKind::kRParen) {  // 0-ary atom "R()"
+      Advance();
+      return Status::OK();
+    }
+    while (true) {
+      const Token& arg = Peek();
+      if (arg.kind != TokKind::kIdent) {
+        return SyntaxError("expected term");
+      }
+      out->args.push_back(arg.text);
+      Advance();
+      if (Peek().kind == TokKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Expect(TokKind::kRParen);
+  }
+
+  StatusOr<std::vector<Atom>> MaterializeAtoms(
+      const std::vector<RawAtom>& raw, bool as_variables) {
+    std::vector<Atom> out;
+    out.reserve(raw.size());
+    for (const RawAtom& r : raw) {
+      auto pred = symbols_->InternPredicate(
+          r.predicate, static_cast<std::uint32_t>(r.args.size()));
+      if (!pred.ok()) {
+        return Status::InvalidArgument("line " + std::to_string(r.line) +
+                                       ": " + pred.status().message());
+      }
+      std::vector<Term> args;
+      args.reserve(r.args.size());
+      for (const std::string& a : r.args) {
+        args.push_back(as_variables ? symbols_->InternVariable(a)
+                                    : symbols_->InternConstant(a));
+      }
+      out.emplace_back(*pred, std::move(args));
+    }
+    return out;
+  }
+
+  const Token& Peek() const { return tokens_[cursor_]; }
+  void Advance() { ++cursor_; }
+
+  Status Expect(TokKind kind) {
+    if (Peek().kind != kind) {
+      const char* what = kind == TokKind::kDot      ? "'.'"
+                         : kind == TokKind::kLParen ? "'('"
+                         : kind == TokKind::kRParen ? "')'"
+                                                    : "token";
+      return SyntaxError(std::string("expected ") + what);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status SyntaxError(const std::string& what) const {
+    return Status::InvalidArgument(
+        "line " + std::to_string(Peek().line) + ": " + what + " (got '" +
+        (Peek().kind == TokKind::kEnd ? "<end>" : Peek().text) + "')");
+  }
+
+  core::SymbolTable* symbols_;
+  std::vector<Token> tokens_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Program> ParseProgram(core::SymbolTable* symbols,
+                               const std::string& text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(symbols, std::move(*tokens));
+  return parser.ParseAll();
+}
+
+StatusOr<Tgd> ParseTgd(core::SymbolTable* symbols, const std::string& text) {
+  std::string padded = text;
+  // Allow omitting the trailing dot for single-rule convenience.
+  bool has_dot = false;
+  for (auto it = padded.rbegin(); it != padded.rend(); ++it) {
+    if (std::isspace(static_cast<unsigned char>(*it))) continue;
+    has_dot = (*it == '.');
+    break;
+  }
+  if (!has_dot) padded += " .";
+  auto program = ParseProgram(symbols, padded);
+  if (!program.ok()) return program.status();
+  if (program->tgds.size() != 1 || !program->database.empty()) {
+    return util::Status::InvalidArgument("expected exactly one TGD");
+  }
+  return program->tgds.tgd(0);
+}
+
+StatusOr<TgdSet> ParseTgdSet(core::SymbolTable* symbols,
+                             const std::string& text) {
+  auto program = ParseProgram(symbols, text);
+  if (!program.ok()) return program.status();
+  if (!program->database.empty()) {
+    return util::Status::InvalidArgument(
+        "expected only TGDs, found facts");
+  }
+  return std::move(program->tgds);
+}
+
+StatusOr<core::Database> ParseDatabase(core::SymbolTable* symbols,
+                                       const std::string& text) {
+  auto program = ParseProgram(symbols, text);
+  if (!program.ok()) return program.status();
+  if (program->tgds.size() != 0) {
+    return util::Status::InvalidArgument(
+        "expected only facts, found TGDs");
+  }
+  return std::move(program->database);
+}
+
+}  // namespace tgd
+}  // namespace nuchase

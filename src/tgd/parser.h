@@ -1,0 +1,50 @@
+#ifndef NUCHASE_TGD_PARSER_H_
+#define NUCHASE_TGD_PARSER_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "core/symbol_table.h"
+#include "tgd/tgd.h"
+#include "util/status.h"
+
+namespace nuchase {
+namespace tgd {
+
+/// A parsed program: a set of TGDs Σ and a database D.
+struct Program {
+  TgdSet tgds;
+  core::Database database;
+};
+
+/// Parses the rule language used by the examples and tests:
+///
+///   % comment (also '#')
+///   R(a, b).                      % a fact: identifiers are constants
+///   R(x, y) -> R(y, z).           % a TGD: identifiers are variables;
+///                                 %   head-only variables (z) are
+///                                 %   existentially quantified
+///   R(x, y), P(x, z, v) -> P(y, w, z).
+///
+/// Statements end with '.'. Facts mention constants only; rules mention
+/// variables only (TGDs are constant-free, Section 2). Predicate arities
+/// are inferred on first use and must stay consistent.
+util::StatusOr<Program> ParseProgram(core::SymbolTable* symbols,
+                                     const std::string& text);
+
+/// Parses a single TGD (without the trailing '.', which is optional here).
+util::StatusOr<Tgd> ParseTgd(core::SymbolTable* symbols,
+                             const std::string& text);
+
+/// Parses a program expected to contain only TGDs.
+util::StatusOr<TgdSet> ParseTgdSet(core::SymbolTable* symbols,
+                                   const std::string& text);
+
+/// Parses a program expected to contain only facts.
+util::StatusOr<core::Database> ParseDatabase(core::SymbolTable* symbols,
+                                             const std::string& text);
+
+}  // namespace tgd
+}  // namespace nuchase
+
+#endif  // NUCHASE_TGD_PARSER_H_

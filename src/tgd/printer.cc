@@ -1,0 +1,35 @@
+#include "tgd/printer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace nuchase {
+namespace tgd {
+
+std::string DatabaseToProgram(const core::Database& db,
+                              const core::SymbolTable& symbols) {
+  std::vector<std::string> lines;
+  lines.reserve(db.size());
+  for (const core::Atom& f : db.facts()) {
+    lines.push_back(f.ToString(symbols) + ".");
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ProgramToString(const TgdSet& tgds, const core::Database& db,
+                            const core::SymbolTable& symbols) {
+  std::string out = "% database\n";
+  out += DatabaseToProgram(db, symbols);
+  out += "% rules\n";
+  out += tgds.ToString(symbols);
+  return out;
+}
+
+}  // namespace tgd
+}  // namespace nuchase

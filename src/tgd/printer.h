@@ -1,0 +1,24 @@
+#ifndef NUCHASE_TGD_PRINTER_H_
+#define NUCHASE_TGD_PRINTER_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "core/symbol_table.h"
+#include "tgd/tgd.h"
+
+namespace nuchase {
+namespace tgd {
+
+/// Renders a database as parse-able fact statements (sorted).
+std::string DatabaseToProgram(const core::Database& db,
+                              const core::SymbolTable& symbols);
+
+/// Renders Σ and D as one program the parser accepts back (round-trip).
+std::string ProgramToString(const TgdSet& tgds, const core::Database& db,
+                            const core::SymbolTable& symbols);
+
+}  // namespace tgd
+}  // namespace nuchase
+
+#endif  // NUCHASE_TGD_PRINTER_H_

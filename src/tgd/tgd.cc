@@ -1,0 +1,136 @@
+#include "tgd/tgd.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "core/schema.h"
+
+namespace nuchase {
+namespace tgd {
+
+using core::Atom;
+using core::Term;
+
+util::StatusOr<Tgd> Tgd::Create(std::vector<Atom> body,
+                                std::vector<Atom> head) {
+  if (body.empty()) {
+    return util::Status::InvalidArgument("TGD body must be non-empty");
+  }
+  if (head.empty()) {
+    return util::Status::InvalidArgument("TGD head must be non-empty");
+  }
+  for (const auto* part : {&body, &head}) {
+    for (const Atom& a : *part) {
+      for (Term t : a.args) {
+        if (!t.IsVariable()) {
+          return util::Status::InvalidArgument(
+              "TGDs are constant-free: every argument must be a variable");
+        }
+      }
+    }
+  }
+
+  Tgd out;
+  std::set<Term> body_vars = core::VariablesOf(body);
+  std::set<Term> head_vars = core::VariablesOf(head);
+
+  out.body_variables_.assign(body_vars.begin(), body_vars.end());
+  for (Term v : head_vars) {
+    if (body_vars.count(v)) {
+      out.frontier_.push_back(v);
+    } else {
+      out.existential_.push_back(v);
+    }
+  }
+
+  // Leftmost body atom containing all body variables, if any.
+  out.guard_index_ = -1;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    std::set<Term> atom_vars = core::VariablesOf(body[i]);
+    if (std::includes(atom_vars.begin(), atom_vars.end(), body_vars.begin(),
+                      body_vars.end())) {
+      out.guard_index_ = static_cast<int>(i);
+      break;
+    }
+  }
+
+  out.body_ = std::move(body);
+  out.head_ = std::move(head);
+  return out;
+}
+
+bool Tgd::IsFrontier(Term v) const {
+  return std::binary_search(frontier_.begin(), frontier_.end(), v);
+}
+
+bool Tgd::IsExistential(Term v) const {
+  return std::binary_search(existential_.begin(), existential_.end(), v);
+}
+
+bool Tgd::IsSimpleLinear() const {
+  if (!IsLinear()) return false;
+  const Atom& atom = body_[0];
+  std::unordered_set<Term> seen;
+  for (Term t : atom.args) {
+    if (!seen.insert(t).second) return false;
+  }
+  return true;
+}
+
+std::string Tgd::ToString(const core::SymbolTable& symbols) const {
+  std::string out;
+  for (std::size_t i = 0; i < body_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body_[i].ToString(symbols);
+  }
+  out += " -> ";
+  for (std::size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head_[i].ToString(symbols);
+  }
+  out += " .";
+  return out;
+}
+
+std::vector<core::PredicateId> TgdSet::SchemaPredicates() const {
+  std::set<core::PredicateId> preds;
+  for (const Tgd& t : tgds_) {
+    for (const Atom& a : t.body()) preds.insert(a.predicate);
+    for (const Atom& a : t.head()) preds.insert(a.predicate);
+  }
+  return {preds.begin(), preds.end()};
+}
+
+std::uint32_t TgdSet::MaxArity(const core::SymbolTable& symbols) const {
+  std::uint32_t ar = 0;
+  for (core::PredicateId p : SchemaPredicates()) {
+    ar = std::max(ar, symbols.arity(p));
+  }
+  return ar;
+}
+
+std::uint64_t TgdSet::NumAtoms() const {
+  std::set<Atom> atoms;
+  for (const Tgd& t : tgds_) {
+    for (const Atom& a : t.body()) atoms.insert(a);
+    for (const Atom& a : t.head()) atoms.insert(a);
+  }
+  return atoms.size();
+}
+
+std::uint64_t TgdSet::Norm(const core::SymbolTable& symbols) const {
+  return NumAtoms() * SchemaPredicates().size() * MaxArity(symbols);
+}
+
+std::string TgdSet::ToString(const core::SymbolTable& symbols) const {
+  std::string out;
+  for (const Tgd& t : tgds_) {
+    out += t.ToString(symbols);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tgd
+}  // namespace nuchase

@@ -1,0 +1,39 @@
+#ifndef NUCHASE_UTIL_HASH_H_
+#define NUCHASE_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace nuchase {
+namespace util {
+
+/// Combines a hash value into a seed (boost::hash_combine recipe with a
+/// 64-bit golden-ratio constant).
+inline void HashCombine(std::size_t* seed, std::size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hashes a contiguous range of integral values.
+template <typename It>
+std::size_t HashRange(It begin, It end, std::size_t seed = 0) {
+  for (It it = begin; it != end; ++it) {
+    HashCombine(&seed, std::hash<std::uint64_t>{}(
+                           static_cast<std::uint64_t>(*it)));
+  }
+  return seed;
+}
+
+/// Hash functor for vectors of integral ids; used to key interning tables.
+template <typename T>
+struct VectorHash {
+  std::size_t operator()(const std::vector<T>& v) const {
+    return HashRange(v.begin(), v.end(), v.size());
+  }
+};
+
+}  // namespace util
+}  // namespace nuchase
+
+#endif  // NUCHASE_UTIL_HASH_H_

@@ -1,0 +1,117 @@
+#ifndef NUCHASE_UTIL_STATUS_H_
+#define NUCHASE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace nuchase {
+namespace util {
+
+/// Error category for Status. Mirrors the small set of failure modes the
+/// library can produce; library code never throws.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (parser errors, bad TGDs, ...).
+  kNotFound,          ///< Lookup of a missing symbol/predicate.
+  kResourceExhausted, ///< A chase/oracle budget was exceeded.
+  kFailedPrecondition,///< API misuse (e.g. linearizing a non-guarded set).
+  kInternal,          ///< Invariant violation; indicates a library bug.
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic error type, in the style of Arrow/RocksDB status objects.
+/// All fallible public APIs return Status or StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status. Accessing the value of a
+/// failed StatusOr aborts (assert), matching the no-exceptions policy.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (OK).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok() && "value() called on failed StatusOr");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "value() called on failed StatusOr");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "value() called on failed StatusOr");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace util
+}  // namespace nuchase
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define NUCHASE_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::nuchase::util::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // NUCHASE_UTIL_STATUS_H_

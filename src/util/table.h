@@ -1,0 +1,44 @@
+#ifndef NUCHASE_UTIL_TABLE_H_
+#define NUCHASE_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nuchase {
+namespace util {
+
+/// Minimal fixed-column ASCII table used by the benchmark harness to print
+/// the tables recorded in EXPERIMENTS.md. Columns are right-aligned except
+/// the first, which is left-aligned (row label).
+class Table {
+ public:
+  /// Creates a table with the given title and column headers.
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must equal the number of headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (title, header rule, rows) to a string.
+  std::string ToString() const;
+
+  /// Writes ToString() to the stream.
+  void Print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a count that may be huge; switches to scientific-ish "~1.2e9"
+/// formatting above 10^7 so tables stay readable.
+std::string FormatCount(double value);
+
+}  // namespace util
+}  // namespace nuchase
+
+#endif  // NUCHASE_UTIL_TABLE_H_

@@ -1,0 +1,75 @@
+#include "workload/depth_family.h"
+
+#include <cassert>
+
+#include "tgd/parser.h"
+
+namespace nuchase {
+namespace workload {
+
+namespace {
+
+/// Parses a fixed program; aborts on parse errors (inputs are literals).
+Workload FromProgram(core::SymbolTable* symbols, const std::string& name,
+                     const std::string& text) {
+  auto program = tgd::ParseProgram(symbols, text);
+  assert(program.ok());
+  Workload out;
+  out.name = name;
+  out.tgds = std::move(program->tgds);
+  out.database = std::move(program->database);
+  return out;
+}
+
+}  // namespace
+
+Workload MakeDepthFamily(core::SymbolTable* symbols, std::uint32_t n) {
+  assert(n >= 1);
+  Workload out = FromProgram(symbols, "depth-family",
+                             "Rd(x, y), Pd(x, z, v) -> Pd(y, w, z).\n");
+  out.name = "depth-family(n=" + std::to_string(n) + ")";
+  util::Status st =
+      out.database.AddFact(symbols, "Pd", {"a1", "b", "b"});
+  assert(st.ok());
+  for (std::uint32_t i = 1; i + 1 <= n; ++i) {
+    st = out.database.AddFact(
+        symbols, "Rd",
+        {"a" + std::to_string(i), "a" + std::to_string(i + 1)});
+    assert(st.ok());
+  }
+  (void)st;
+  return out;
+}
+
+Workload MakeInfinitePath(core::SymbolTable* symbols) {
+  return FromProgram(symbols, "infinite-path",
+                     "Rp(a, b).\n"
+                     "Rp(x, y) -> Rp(y, z).\n");
+}
+
+Workload MakeFairnessExample(core::SymbolTable* symbols) {
+  return FromProgram(symbols, "fairness-example",
+                     "Rf(a, b).\n"
+                     "Rf(x, y) -> Rf(y, z).\n"
+                     "Rf(x, y) -> Pf(x, y).\n");
+}
+
+Workload MakeExample71(core::SymbolTable* symbols) {
+  return FromProgram(symbols, "example-7.1",
+                     "Re(a, b).\n"
+                     "Re(x, x) -> Re(z, x).\n");
+}
+
+Workload MakeDepthFamilyInfinite(core::SymbolTable* symbols) {
+  Workload out = FromProgram(symbols, "depth-family-infinite",
+                             "Rd(x, y), Pd(x, z, v) -> Pd(y, w, z).\n");
+  util::Status st = out.database.AddFact(symbols, "Pd", {"a", "a", "a"});
+  assert(st.ok());
+  st = out.database.AddFact(symbols, "Rd", {"a", "a"});
+  assert(st.ok());
+  (void)st;
+  return out;
+}
+
+}  // namespace workload
+}  // namespace nuchase

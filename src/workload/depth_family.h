@@ -1,0 +1,40 @@
+#ifndef NUCHASE_WORKLOAD_DEPTH_FAMILY_H_
+#define NUCHASE_WORKLOAD_DEPTH_FAMILY_H_
+
+#include <cstdint>
+
+#include "workload/lower_bounds.h"
+
+namespace nuchase {
+namespace workload {
+
+/// Proposition 4.5's family: Σ = { R(x,y), P(x,z,v) → ∃w P(y,w,z) } and
+/// D_n = { P(a1,b,b), R(a1,a2), ..., R(a_{n−1},a_n) }, with |D_n| = n and
+/// maxdepth(D_n, Σ) = n − 1. Demonstrates that, unlike the uniform case
+/// (Theorem 4.4), no database-independent depth bound exists for
+/// arbitrary TGDs. Note Σ is not guarded.
+Workload MakeDepthFamily(core::SymbolTable* symbols, std::uint32_t n);
+
+/// Section 3's canonical non-terminating pair: D = { R(a,b) },
+/// Σ = { R(x,y) → ∃z R(y,z) }.
+Workload MakeInfinitePath(core::SymbolTable* symbols);
+
+/// Section 3's fairness example: Σ = { R(x,y) → ∃z R(y,z),
+/// R(x,y) → P(x,y) } over D = { R(a,b) }; an unfair derivation that never
+/// fires the second TGD does not satisfy Σ.
+Workload MakeFairnessExample(core::SymbolTable* symbols);
+
+/// Example 7.1: D = { R(a,b) }, Σ = { R(x,x) → ∃z R(z,x) }. The chase is
+/// finite (no trigger at all) although Σ is not D-weakly-acyclic —
+/// non-uniform weak-acyclicity is too coarse for non-simple linear TGDs.
+Workload MakeExample71(core::SymbolTable* symbols);
+
+/// Proposition 4.5's companion observation: the same Σ as
+/// MakeDepthFamily over D = { P(a,a,a), R(a,a) } has an infinite chase
+/// (so Σ ∉ CT).
+Workload MakeDepthFamilyInfinite(core::SymbolTable* symbols);
+
+}  // namespace workload
+}  // namespace nuchase
+
+#endif  // NUCHASE_WORKLOAD_DEPTH_FAMILY_H_

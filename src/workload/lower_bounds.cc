@@ -1,0 +1,481 @@
+#include "workload/lower_bounds.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace nuchase {
+namespace workload {
+
+using core::Atom;
+using core::Term;
+
+namespace {
+
+/// Small helper collecting the boilerplate of building parameterized
+/// TGDs: interned predicates, variables "x1", ..., and checked Tgd
+/// construction.
+class Builder {
+ public:
+  explicit Builder(core::SymbolTable* symbols) : symbols_(symbols) {}
+
+  core::PredicateId Pred(const std::string& name, std::uint32_t arity) {
+    auto p = symbols_->InternPredicate(name, arity);
+    assert(p.ok() && "workload predicate arity clash; use a fresh "
+                     "SymbolTable per workload");
+    return *p;
+  }
+
+  Term Var(const std::string& name) {
+    return symbols_->InternVariable(name);
+  }
+
+  void AddRule(tgd::TgdSet* out, std::vector<Atom> body,
+               std::vector<Atom> head) {
+    auto rule = tgd::Tgd::Create(std::move(body), std::move(head));
+    assert(rule.ok());
+    out->Add(std::move(*rule));
+  }
+
+ private:
+  core::SymbolTable* symbols_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Theorem 6.5 (SL).
+// ---------------------------------------------------------------------------
+
+Workload MakeSlLowerBound(core::SymbolTable* symbols, std::uint64_t ell,
+                          std::uint32_t n, std::uint32_t m) {
+  Builder b(symbols);
+  Workload out;
+  out.name = "sl-lower-bound(ell=" + std::to_string(ell) +
+             ",n=" + std::to_string(n) + ",m=" + std::to_string(m) + ")";
+  std::string tag = "_" + std::to_string(n) + "_" + std::to_string(m);
+
+  core::PredicateId p0 = b.Pred("P0" + tag, 1);
+  std::vector<core::PredicateId> r(n + 1);
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    r[i] = b.Pred("R" + std::to_string(i) + tag, m);
+  }
+
+  // D_ℓ = { P0(c_1), ..., P0(c_ℓ) }.
+  for (std::uint64_t i = 1; i <= ell; ++i) {
+    util::Status st = out.database.AddFact(
+        symbols, "P0" + tag, {"c" + std::to_string(i)});
+    assert(st.ok());
+    (void)st;
+  }
+
+  // Σ_start: P0(x) → ∃y1..ym P0(x), R1(y1, ..., ym).
+  {
+    Term x = b.Var("x" + tag);
+    std::vector<Term> ys;
+    for (std::uint32_t j = 1; j <= m; ++j) {
+      ys.push_back(b.Var("y" + std::to_string(j) + tag));
+    }
+    b.AddRule(&out.tgds, {Atom(p0, {x})},
+              {Atom(p0, {x}), Atom(r[1], ys)});
+  }
+
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    std::string itag = "_i" + std::to_string(i) + tag;
+    std::vector<Term> xs;
+    for (std::uint32_t j = 1; j <= m; ++j) {
+      xs.push_back(b.Var("x" + std::to_string(j) + itag));
+    }
+    // Σ∀_i: for each j ∈ [m], the transposition (1 j) and the
+    // "assign first component := x_j" rule.
+    for (std::uint32_t j = 1; j <= m; ++j) {
+      std::vector<Term> swapped = xs;
+      std::swap(swapped[0], swapped[j - 1]);
+      b.AddRule(&out.tgds, {Atom(r[i], xs)}, {Atom(r[i], swapped)});
+
+      std::vector<Term> assigned = xs;
+      assigned[0] = xs[j - 1];
+      b.AddRule(&out.tgds, {Atom(r[i], xs)}, {Atom(r[i], assigned)});
+    }
+    // Σ∃_i: R_i(x̄) → ∃z̄ R_i(x̄), R_{i+1}(z̄)   (for i < n).
+    if (i < n) {
+      std::vector<Term> zs;
+      for (std::uint32_t j = 1; j <= m; ++j) {
+        zs.push_back(b.Var("z" + std::to_string(j) + itag));
+      }
+      b.AddRule(&out.tgds, {Atom(r[i], xs)},
+                {Atom(r[i], xs), Atom(r[i + 1], zs)});
+    }
+  }
+  return out;
+}
+
+double SlLowerBoundValue(std::uint64_t ell, std::uint32_t n,
+                         std::uint32_t m) {
+  return static_cast<double>(ell) *
+         std::pow(static_cast<double>(m),
+                  static_cast<double>(n) * static_cast<double>(m));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 7.6 (L).
+// ---------------------------------------------------------------------------
+
+Workload MakeLinearLowerBound(core::SymbolTable* symbols, std::uint64_t ell,
+                              std::uint32_t n, std::uint32_t m) {
+  Builder b(symbols);
+  Workload out;
+  out.name = "l-lower-bound(ell=" + std::to_string(ell) +
+             ",n=" + std::to_string(n) + ",m=" + std::to_string(m) + ")";
+  std::string tag = "_" + std::to_string(n) + "_" + std::to_string(m);
+  const std::uint32_t arity = m + 3;
+
+  core::PredicateId p0 = b.Pred("P0" + tag, 1);
+  std::vector<core::PredicateId> r(n + 1);
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    r[i] = b.Pred("R" + std::to_string(i) + tag, arity);
+  }
+
+  for (std::uint64_t i = 1; i <= ell; ++i) {
+    util::Status st = out.database.AddFact(
+        symbols, "P0" + tag, {"c" + std::to_string(i)});
+    assert(st.ok());
+    (void)st;
+  }
+
+  // Σ_start: P0(x) → ∃y∃z P0(x), R1(y^m, y, z, y).
+  {
+    Term x = b.Var("x" + tag);
+    Term y = b.Var("y" + tag);
+    Term z = b.Var("z" + tag);
+    std::vector<Term> args(m, y);
+    args.push_back(y);
+    args.push_back(z);
+    args.push_back(y);
+    b.AddRule(&out.tgds, {Atom(p0, {x})},
+              {Atom(p0, {x}), Atom(r[1], args)});
+  }
+
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    std::string itag = "_i" + std::to_string(i) + tag;
+    // Σ∀_i: for each j ∈ {0, ..., m−1}:
+    //   R_i(x1..x_{m−j−1}, y, z^j, y, z, u) →
+    //     ∃v∃w R_i(body args),
+    //          R_i(x1..x_{m−j−1}, z, y^j, y, z, v),
+    //          R_i(x1..x_{m−j−1}, z, y^j, y, z, w).
+    for (std::uint32_t j = 0; j < m; ++j) {
+      std::string jtag = "_j" + std::to_string(j) + itag;
+      Term y = b.Var("y" + jtag);
+      Term z = b.Var("z" + jtag);
+      Term u = b.Var("u" + jtag);
+      Term v = b.Var("v" + jtag);
+      Term w = b.Var("w" + jtag);
+      std::vector<Term> prefix;  // x1 .. x_{m−j−1}
+      for (std::uint32_t k = 1; k + j + 1 <= m; ++k) {
+        prefix.push_back(b.Var("x" + std::to_string(k) + jtag));
+      }
+      auto digits = [&](Term first, Term rest) {
+        // digits: prefix, first, rest^j  (total m digits)
+        std::vector<Term> d = prefix;
+        d.push_back(first);
+        for (std::uint32_t k = 0; k < j; ++k) d.push_back(rest);
+        return d;
+      };
+      std::vector<Term> body_args = digits(y, z);
+      body_args.push_back(y);
+      body_args.push_back(z);
+      body_args.push_back(u);
+
+      auto child = [&](Term id) {
+        std::vector<Term> a = digits(z, y);
+        a.push_back(y);
+        a.push_back(z);
+        a.push_back(id);
+        return a;
+      };
+      b.AddRule(&out.tgds, {Atom(r[i], body_args)},
+                {Atom(r[i], body_args), Atom(r[i], child(v)),
+                 Atom(r[i], child(w))});
+    }
+    // Σ∃_i: R_i(x^m, y, x, z) → ∃v∃w R_i(x^m, y, x, z),
+    //                                R_{i+1}(v^m, v, w, v).
+    if (i < n) {
+      Term x = b.Var("xe" + itag);
+      Term y = b.Var("ye" + itag);
+      Term z = b.Var("ze" + itag);
+      Term v = b.Var("ve" + itag);
+      Term w = b.Var("we" + itag);
+      std::vector<Term> body_args(m, x);
+      body_args.push_back(y);
+      body_args.push_back(x);
+      body_args.push_back(z);
+      std::vector<Term> head_args(m, v);
+      head_args.push_back(v);
+      head_args.push_back(w);
+      head_args.push_back(v);
+      b.AddRule(&out.tgds, {Atom(r[i], body_args)},
+                {Atom(r[i], body_args), Atom(r[i + 1], head_args)});
+    }
+  }
+  return out;
+}
+
+double LinearLowerBoundValue(std::uint64_t ell, std::uint32_t n,
+                             std::uint32_t m) {
+  return static_cast<double>(ell) *
+         std::exp2(static_cast<double>(n) *
+                   (std::exp2(static_cast<double>(m)) - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 8.4 (G).
+// ---------------------------------------------------------------------------
+
+Workload MakeGuardedLowerBound(core::SymbolTable* symbols,
+                               std::uint64_t ell, std::uint32_t n,
+                               std::uint32_t m) {
+  Builder b(symbols);
+  Workload out;
+  out.name = "g-lower-bound(ell=" + std::to_string(ell) +
+             ",n=" + std::to_string(n) + ",m=" + std::to_string(m) + ")";
+  std::string tag = "_" + std::to_string(n) + "_" + std::to_string(m);
+
+  core::PredicateId node = b.Pred("Node" + tag, 4);
+  core::PredicateId root = b.Pred("Root" + tag, 1);
+  core::PredicateId nonroot = b.Pred("NonRoot" + tag, 1);
+  core::PredicateId newroot = b.Pred("NewRoot" + tag, 1);
+  core::PredicateId did = b.Pred("Did" + tag, 4 + m);
+  core::PredicateId succ = b.Pred("Succ" + tag, 4 + 2 * m);
+  core::PredicateId depthp = b.Pred("Depth" + tag, m + 2);
+  core::PredicateId nonmaxs = b.Pred("NonMaxStratum" + tag, 1);
+  core::PredicateId nonmaxd = b.Pred("NonMaxDepth" + tag, 1);
+  core::PredicateId dpivot = b.Pred("DPivot" + tag, m + 1);
+  core::PredicateId dchange = b.Pred("DChange" + tag, m + 1);
+  core::PredicateId dcopy = b.Pred("DCopy" + tag, m + 1);
+  std::vector<core::PredicateId> s(n + 1), spivot(n + 1), schange(n + 1),
+      scopy(n + 1);
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    std::string si = std::to_string(i);
+    s[i] = b.Pred("S" + si + tag, 2);
+    spivot[i] = b.Pred("SPivot" + si + tag, 1);
+    schange[i] = b.Pred("SChange" + si + tag, 1);
+    scopy[i] = b.Pred("SCopy" + si + tag, 1);
+  }
+
+  // D_ℓ = { Node(c_i, c_i, 0, 1) }.
+  for (std::uint64_t i = 1; i <= ell; ++i) {
+    util::Status st =
+        out.database.AddFact(symbols, "Node" + tag,
+                             {"c" + std::to_string(i),
+                              "c" + std::to_string(i), "zero", "one"});
+    assert(st.ok());
+    (void)st;
+  }
+
+  Term x = b.Var("x" + tag), y = b.Var("y" + tag), z = b.Var("z" + tag),
+       o = b.Var("o" + tag), w = b.Var("w" + tag), w2 = b.Var("w2" + tag);
+  std::vector<Term> ws, ws2;
+  for (std::uint32_t i = 1; i <= m; ++i) {
+    ws.push_back(b.Var("wa" + std::to_string(i) + tag));
+    ws2.push_back(b.Var("wb" + std::to_string(i) + tag));
+  }
+
+  auto cat = [](std::vector<Term> a, const std::vector<Term>& c) {
+    a.insert(a.end(), c.begin(), c.end());
+    return a;
+  };
+
+  // Root initialization: Node(x,x,z,o) → Root(x), S_1(x,z), ..., S_n(x,z).
+  {
+    std::vector<Atom> head{Atom(root, {x})};
+    for (std::uint32_t i = 1; i <= n; ++i) {
+      head.push_back(Atom(s[i], {x, z}));
+    }
+    b.AddRule(&out.tgds, {Atom(node, {x, x, z, o})}, std::move(head));
+  }
+
+  // Digit-id zero: Node(x,y,z,o) → Did(x,y,z,o,z^m).
+  {
+    std::vector<Term> args{x, y, z, o};
+    for (std::uint32_t i = 0; i < m; ++i) args.push_back(z);
+    b.AddRule(&out.tgds, {Atom(node, {x, y, z, o})},
+              {Atom(did, args)});
+  }
+  // All other digit-ids: flip one z to o.
+  for (std::uint32_t i = 0; i < m; ++i) {
+    std::vector<Term> body_args{x, y, z, o};
+    std::vector<Term> head_args{x, y, z, o};
+    for (std::uint32_t k = 0; k < m; ++k) {
+      body_args.push_back(k == i ? z : ws[k]);
+      head_args.push_back(k == i ? o : ws[k]);
+    }
+    b.AddRule(&out.tgds, {Atom(did, body_args)}, {Atom(did, head_args)});
+  }
+
+  // Root depth counter is all-zero:
+  //   Did(x,y,z,o,w̄), Root(y) → Depth(y,w̄,z).
+  b.AddRule(&out.tgds,
+            {Atom(did, cat({x, y, z, o}, ws)), Atom(root, {y})},
+            {Atom(depthp, cat(cat({y}, ws), {z}))});
+
+  // Successor over digit-ids: for i ∈ [m]:
+  //   Did(x,y,z,o,w1..w_{i−1},z,o^{m−i}) →
+  //     Succ(x,y,z,o, w1..w_{i−1},z,o^{m−i}, w1..w_{i−1},o,z^{m−i}).
+  for (std::uint32_t i = 1; i <= m; ++i) {
+    std::vector<Term> low, high;
+    for (std::uint32_t k = 1; k <= m; ++k) {
+      if (k < i) {
+        low.push_back(ws[k - 1]);
+        high.push_back(ws[k - 1]);
+      } else if (k == i) {
+        low.push_back(z);
+        high.push_back(o);
+      } else {
+        low.push_back(o);
+        high.push_back(z);
+      }
+    }
+    b.AddRule(&out.tgds, {Atom(did, cat({x, y, z, o}, low))},
+              {Atom(succ, cat(cat({x, y, z, o}, low), high))});
+  }
+
+  // Complement markers:
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    b.AddRule(&out.tgds,
+              {Atom(node, {x, y, z, o}), Atom(s[i], {y, z})},
+              {Atom(nonmaxs, {y})});
+  }
+  // The paper writes Depth(x,w̄,z) → NonMaxDepth(x) with z implicitly the
+  // constant 0; a runnable constant-free encoding must anchor z (and o)
+  // through a guard atom whose positions carry them, else z unifies with
+  // 1 as well, NonMaxDepth never expires, and the tree is infinite.
+  b.AddRule(&out.tgds,
+            {Atom(did, cat({x, y, z, o}, ws)),
+             Atom(depthp, cat(cat({y}, ws), {z}))},
+            {Atom(nonmaxd, {y})});
+
+  // Children: Node(x,y,z,o), NonMaxDepth(y) →
+  //   ∃w∃w2 Node(y,w,z,o), NonRoot(w), Node(y,w2,z,o), NonRoot(w2).
+  b.AddRule(&out.tgds, {Atom(node, {x, y, z, o}), Atom(nonmaxd, {y})},
+            {Atom(node, {y, w, z, o}), Atom(nonroot, {w}),
+             Atom(node, {y, w2, z, o}), Atom(nonroot, {w2})});
+
+  // Children inherit the stratum:
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    b.AddRule(&out.tgds,
+              {Atom(node, {x, y, z, o}), Atom(nonroot, {y}),
+               Atom(s[i], {x, z})},
+              {Atom(s[i], {y, z})});
+    b.AddRule(&out.tgds,
+              {Atom(node, {x, y, z, o}), Atom(nonroot, {y}),
+               Atom(s[i], {x, o})},
+              {Atom(s[i], {y, o})});
+  }
+
+  // Depth-counter digit classification (pivot / change / copy):
+  {
+    // Same anchoring as NonMaxDepth: the Did guard pins z = 0 and o = 1,
+    // so only the genuine rightmost digit-id 1^m is classified here.
+    std::vector<Term> ones(m, o);
+    Atom did_ones(did, cat({x, y, z, o}, ones));
+    b.AddRule(&out.tgds,
+              {did_ones, Atom(depthp, cat(cat({y}, ones), {z}))},
+              {Atom(dpivot, cat({y}, ones))});
+    b.AddRule(&out.tgds,
+              {did_ones, Atom(depthp, cat(cat({y}, ones), {o}))},
+              {Atom(dchange, cat({y}, ones))});
+  }
+  {
+    Atom succ_atom(succ, cat(cat(cat({x, y, z, o}, ws), ws2), {}));
+    b.AddRule(&out.tgds,
+              {succ_atom, Atom(dchange, cat({y}, ws2)),
+               Atom(depthp, cat(cat({y}, ws), {z}))},
+              {Atom(dpivot, cat({y}, ws))});
+    b.AddRule(&out.tgds,
+              {succ_atom, Atom(dchange, cat({y}, ws2)),
+               Atom(depthp, cat(cat({y}, ws), {o}))},
+              {Atom(dchange, cat({y}, ws))});
+    b.AddRule(&out.tgds, {succ_atom, Atom(dpivot, cat({y}, ws2))},
+              {Atom(dcopy, cat({y}, ws))});
+    b.AddRule(&out.tgds, {succ_atom, Atom(dcopy, cat({y}, ws2))},
+              {Atom(dcopy, cat({y}, ws))});
+  }
+
+  // Child depth = parent depth + 1:
+  {
+    Atom did_atom(did, cat({x, y, z, o}, ws));
+    b.AddRule(&out.tgds,
+              {did_atom, Atom(nonroot, {y}), Atom(dchange, cat({x}, ws))},
+              {Atom(depthp, cat(cat({y}, ws), {z}))});
+    b.AddRule(&out.tgds,
+              {did_atom, Atom(nonroot, {y}), Atom(dpivot, cat({x}, ws))},
+              {Atom(depthp, cat(cat({y}, ws), {o}))});
+    b.AddRule(&out.tgds,
+              {did_atom, Atom(nonroot, {y}), Atom(dcopy, cat({x}, ws)),
+               Atom(depthp, cat(cat({x}, ws), {z}))},
+              {Atom(depthp, cat(cat({y}, ws), {z}))});
+    b.AddRule(&out.tgds,
+              {did_atom, Atom(nonroot, {y}), Atom(dcopy, cat({x}, ws)),
+               Atom(depthp, cat(cat({x}, ws), {o}))},
+              {Atom(depthp, cat(cat({y}, ws), {o}))});
+  }
+
+  // New strata: Node(x,y,z,o), NonMaxStratum(y) →
+  //   ∃w Node(y,w,z,o), NewRoot(w);     NewRoot(x) → Root(x).
+  b.AddRule(&out.tgds, {Atom(node, {x, y, z, o}), Atom(nonmaxs, {y})},
+            {Atom(node, {y, w, z, o}), Atom(newroot, {w})});
+  b.AddRule(&out.tgds, {Atom(newroot, {x})}, {Atom(root, {x})});
+
+  // Stratum-counter digit classification:
+  b.AddRule(&out.tgds, {Atom(node, {x, y, z, o}), Atom(s[n], {y, z})},
+            {Atom(spivot[n], {y})});
+  b.AddRule(&out.tgds, {Atom(node, {x, y, z, o}), Atom(s[n], {y, o})},
+            {Atom(schange[n], {y})});
+  for (std::uint32_t i = 2; i <= n; ++i) {
+    b.AddRule(&out.tgds,
+              {Atom(node, {x, y, z, o}), Atom(schange[i], {y}),
+               Atom(s[i - 1], {y, z})},
+              {Atom(spivot[i - 1], {y})});
+    b.AddRule(&out.tgds,
+              {Atom(node, {x, y, z, o}), Atom(schange[i], {y}),
+               Atom(s[i - 1], {y, o})},
+              {Atom(schange[i - 1], {y})});
+    b.AddRule(&out.tgds,
+              {Atom(node, {x, y, z, o}), Atom(spivot[i], {y})},
+              {Atom(scopy[i - 1], {y})});
+    b.AddRule(&out.tgds,
+              {Atom(node, {x, y, z, o}), Atom(scopy[i], {y})},
+              {Atom(scopy[i - 1], {y})});
+  }
+
+  // New roots carry stratum + 1 (note: the paper writes i ∈ {2,...,n},
+  // which would leave S_1 of a new root undefined; we use i ∈ [n]).
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    b.AddRule(&out.tgds,
+              {Atom(node, {x, y, z, o}), Atom(newroot, {y}),
+               Atom(schange[i], {x})},
+              {Atom(s[i], {y, z})});
+    b.AddRule(&out.tgds,
+              {Atom(node, {x, y, z, o}), Atom(newroot, {y}),
+               Atom(spivot[i], {x})},
+              {Atom(s[i], {y, o})});
+    b.AddRule(&out.tgds,
+              {Atom(node, {x, y, z, o}), Atom(newroot, {y}),
+               Atom(scopy[i], {x}), Atom(s[i], {x, z})},
+              {Atom(s[i], {y, z})});
+    b.AddRule(&out.tgds,
+              {Atom(node, {x, y, z, o}), Atom(newroot, {y}),
+               Atom(scopy[i], {x}), Atom(s[i], {x, o})},
+              {Atom(s[i], {y, o})});
+  }
+  return out;
+}
+
+double GuardedLowerBoundValue(std::uint64_t ell, std::uint32_t n,
+                              std::uint32_t m) {
+  return static_cast<double>(ell) *
+         std::exp2(std::exp2(static_cast<double>(n)) *
+                   (std::exp2(std::exp2(static_cast<double>(m))) - 1));
+}
+
+}  // namespace workload
+}  // namespace nuchase

@@ -1,0 +1,57 @@
+#ifndef NUCHASE_WORKLOAD_LOWER_BOUNDS_H_
+#define NUCHASE_WORKLOAD_LOWER_BOUNDS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/database.h"
+#include "core/symbol_table.h"
+#include "tgd/tgd.h"
+
+namespace nuchase {
+namespace workload {
+
+/// A generated (D, Σ) pair.
+struct Workload {
+  std::string name;
+  tgd::TgdSet tgds;
+  core::Database database;
+};
+
+/// Theorem 6.5's family: Σ_{n,m} ∈ SL ∩ CT_{D_ℓ} with
+/// |chase(D_ℓ, Σ_{n,m})| ≥ ℓ · m^{n·m}. `n` counts the R_i levels and `m`
+/// is the arity. Generators assume a fresh SymbolTable per workload (the
+/// generated predicate names are parameterized by n, m to avoid arity
+/// clashes regardless).
+Workload MakeSlLowerBound(core::SymbolTable* symbols, std::uint64_t ell,
+                          std::uint32_t n, std::uint32_t m);
+
+/// ℓ · m^{n·m}.
+double SlLowerBoundValue(std::uint64_t ell, std::uint32_t n,
+                         std::uint32_t m);
+
+/// Theorem 7.6's family: Σ_{n,m} ∈ L ∩ CT_{D_ℓ} with
+/// |chase(D_ℓ, Σ_{n,m})| ≥ ℓ · 2^{n·(2^m − 1)}; arity m+3.
+Workload MakeLinearLowerBound(core::SymbolTable* symbols, std::uint64_t ell,
+                              std::uint32_t n, std::uint32_t m);
+
+/// ℓ · 2^{n·(2^m−1)}.
+double LinearLowerBoundValue(std::uint64_t ell, std::uint32_t n,
+                             std::uint32_t m);
+
+/// Theorem 8.4's family: Σ_{n,m} ∈ G ∩ CT_{D_ℓ} with
+/// |chase(D_ℓ, Σ_{n,m})| ≥ ℓ · 2^{2^n · (2^{2^m} − 1)} (strata of full
+/// binary trees driven by an exponential stratum counter and a
+/// double-exponential depth counter).
+Workload MakeGuardedLowerBound(core::SymbolTable* symbols,
+                               std::uint64_t ell, std::uint32_t n,
+                               std::uint32_t m);
+
+/// ℓ · 2^{2^n·(2^{2^m}−1)}.
+double GuardedLowerBoundValue(std::uint64_t ell, std::uint32_t n,
+                              std::uint32_t m);
+
+}  // namespace workload
+}  // namespace nuchase
+
+#endif  // NUCHASE_WORKLOAD_LOWER_BOUNDS_H_

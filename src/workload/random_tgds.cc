@@ -1,0 +1,126 @@
+#include "workload/random_tgds.h"
+
+#include <cassert>
+#include <random>
+
+namespace nuchase {
+namespace workload {
+
+using core::Atom;
+using core::Term;
+
+Workload MakeRandomWorkload(core::SymbolTable* symbols,
+                            const RandomTgdOptions& options) {
+  std::mt19937 rng(options.seed);
+  auto pick = [&](std::uint32_t bound) {  // uniform in [0, bound)
+    return static_cast<std::uint32_t>(rng() % bound);
+  };
+
+  Workload out;
+  out.name = "random(seed=" + std::to_string(options.seed) + ",class=" +
+             tgd::TgdClassName(options.target) + ")";
+  std::string tag = "rnd" + std::to_string(options.name_tag) + "_";
+
+  // Schema.
+  std::vector<core::PredicateId> preds;
+  std::vector<std::uint32_t> arities;
+  for (std::uint32_t p = 0; p < options.num_predicates; ++p) {
+    std::uint32_t arity = 1 + pick(options.max_arity);
+    auto pred =
+        symbols->InternPredicate(tag + "P" + std::to_string(p), arity);
+    assert(pred.ok());
+    preds.push_back(*pred);
+    arities.push_back(arity);
+  }
+
+  // Rules.
+  for (std::uint32_t t = 0; t < options.num_tgds; ++t) {
+    std::string rtag = tag + "r" + std::to_string(t) + "_";
+    auto var = [&](std::uint32_t i) {
+      return symbols->InternVariable(rtag + "v" + std::to_string(i));
+    };
+
+    // Body: one atom for SL/L; guard plus side atoms for G.
+    std::vector<Atom> body;
+    std::vector<Term> body_vars;
+    std::uint32_t guard_pick = pick(static_cast<std::uint32_t>(
+        preds.size()));
+    std::uint32_t guard_arity = arities[guard_pick];
+    std::vector<Term> guard_args;
+    for (std::uint32_t i = 0; i < guard_arity; ++i) {
+      if (options.target == tgd::TgdClass::kSimpleLinear ||
+          body_vars.empty() || pick(100) < 70) {
+        Term v = var(static_cast<std::uint32_t>(body_vars.size()));
+        body_vars.push_back(v);
+        guard_args.push_back(v);
+      } else {
+        // Repeat an existing body variable (L and G only).
+        guard_args.push_back(body_vars[pick(
+            static_cast<std::uint32_t>(body_vars.size()))]);
+      }
+    }
+    body.emplace_back(preds[guard_pick], guard_args);
+
+    if (options.target == tgd::TgdClass::kGuarded &&
+        options.max_side_atoms > 0) {
+      std::uint32_t side_count = pick(options.max_side_atoms + 1);
+      for (std::uint32_t s = 0; s < side_count; ++s) {
+        std::uint32_t p = pick(static_cast<std::uint32_t>(preds.size()));
+        std::vector<Term> args;
+        for (std::uint32_t i = 0; i < arities[p]; ++i) {
+          args.push_back(body_vars[pick(
+              static_cast<std::uint32_t>(body_vars.size()))]);
+        }
+        body.emplace_back(preds[p], std::move(args));
+      }
+    }
+
+    // Head: 1..max_head_atoms atoms over frontier + existential vars.
+    std::uint32_t head_count = 1 + pick(options.max_head_atoms);
+    std::vector<Term> existentials;
+    std::vector<Atom> head;
+    for (std::uint32_t a = 0; a < head_count; ++a) {
+      std::uint32_t p = pick(static_cast<std::uint32_t>(preds.size()));
+      std::vector<Term> args;
+      for (std::uint32_t i = 0; i < arities[p]; ++i) {
+        if (pick(100) < options.existential_percent) {
+          if (existentials.empty() || pick(100) < 60) {
+            Term z = symbols->InternVariable(
+                rtag + "z" + std::to_string(existentials.size()));
+            existentials.push_back(z);
+            args.push_back(z);
+          } else {
+            args.push_back(existentials[pick(
+                static_cast<std::uint32_t>(existentials.size()))]);
+          }
+        } else {
+          args.push_back(body_vars[pick(
+              static_cast<std::uint32_t>(body_vars.size()))]);
+        }
+      }
+      head.emplace_back(preds[p], std::move(args));
+    }
+
+    auto rule = tgd::Tgd::Create(std::move(body), std::move(head));
+    assert(rule.ok());
+    out.tgds.Add(std::move(*rule));
+  }
+
+  // Database.
+  for (std::uint32_t f = 0; f < options.num_facts; ++f) {
+    std::uint32_t p = pick(static_cast<std::uint32_t>(preds.size()));
+    std::vector<std::string> args;
+    for (std::uint32_t i = 0; i < arities[p]; ++i) {
+      args.push_back(tag + "c" + std::to_string(pick(
+                                      options.num_constants)));
+    }
+    util::Status st = out.database.AddFact(
+        symbols, symbols->predicate_name(preds[p]), args);
+    assert(st.ok());
+    (void)st;
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace nuchase

@@ -1,0 +1,43 @@
+#ifndef NUCHASE_WORKLOAD_RANDOM_TGDS_H_
+#define NUCHASE_WORKLOAD_RANDOM_TGDS_H_
+
+#include <cstdint>
+
+#include "tgd/classify.h"
+#include "workload/lower_bounds.h"
+
+namespace nuchase {
+namespace workload {
+
+/// Parameters of the seeded random workload generator used by the
+/// property tests to cross-validate the syntactic deciders against the
+/// bounded-chase ground truth.
+struct RandomTgdOptions {
+  std::uint32_t seed = 1;
+  /// Target class of the generated set (every rule belongs to it).
+  tgd::TgdClass target = tgd::TgdClass::kSimpleLinear;
+  std::uint32_t num_predicates = 4;
+  std::uint32_t max_arity = 3;
+  std::uint32_t num_tgds = 5;
+  std::uint32_t max_head_atoms = 2;
+  /// For guarded rules: maximum number of side atoms next to the guard.
+  std::uint32_t max_side_atoms = 2;
+  /// Probability (percent) that a head argument is existential.
+  std::uint32_t existential_percent = 40;
+  /// Number of facts / distinct constants in the companion database.
+  std::uint32_t num_facts = 6;
+  std::uint32_t num_constants = 4;
+  /// Distinguishes predicate families when one SymbolTable hosts several
+  /// generated workloads.
+  std::uint32_t name_tag = 0;
+};
+
+/// Generates a random (D, Σ) in the requested class. Deterministic in the
+/// seed.
+Workload MakeRandomWorkload(core::SymbolTable* symbols,
+                            const RandomTgdOptions& options);
+
+}  // namespace workload
+}  // namespace nuchase
+
+#endif  // NUCHASE_WORKLOAD_RANDOM_TGDS_H_

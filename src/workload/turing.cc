@@ -1,0 +1,222 @@
+#include "workload/turing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "tgd/parser.h"
+
+namespace nuchase {
+namespace workload {
+
+std::vector<std::string> TuringMachine::States() const {
+  std::set<std::string> states{initial_state};
+  for (const Rule& r : rules) {
+    states.insert(r.state);
+    states.insert(r.next_state);
+  }
+  return {states.begin(), states.end()};
+}
+
+std::vector<char> TuringMachine::Symbols() const {
+  std::set<char> symbols{kBlank};
+  for (const Rule& r : rules) {
+    symbols.insert(r.read);
+    symbols.insert(r.write);
+  }
+  symbols.erase(kBegin);
+  symbols.erase(kEnd);
+  return {symbols.begin(), symbols.end()};
+}
+
+std::optional<std::uint64_t> SimulateTm(const TuringMachine& tm,
+                                        std::uint64_t max_steps) {
+  // Tape: begin marker, one blank, end marker; head on the blank.
+  std::vector<char> tape{TuringMachine::kBegin, TuringMachine::kBlank,
+                         TuringMachine::kEnd};
+  std::size_t head = 1;
+  std::string state = tm.initial_state;
+
+  for (std::uint64_t step = 0; step < max_steps; ++step) {
+    const TuringMachine::Rule* rule = nullptr;
+    for (const TuringMachine::Rule& r : tm.rules) {
+      if (r.state == state && r.read == tape[head]) {
+        rule = &r;
+        break;
+      }
+    }
+    if (rule == nullptr) return step;  // halted
+    tape[head] = rule->write;
+    state = rule->next_state;
+    switch (rule->move) {
+      case TuringMachine::Move::kLeft:
+        assert(head > 1 && "machine must be well-behaved (Appendix A)");
+        --head;
+        break;
+      case TuringMachine::Move::kStay:
+        break;
+      case TuringMachine::Move::kRight:
+        ++head;
+        if (tape[head] == TuringMachine::kEnd) {
+          tape.insert(tape.begin() + static_cast<std::ptrdiff_t>(head),
+                      TuringMachine::kBlank);
+        }
+        break;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::string StateConst(const std::string& state) { return "st_" + state; }
+
+std::string SymConst(char symbol) {
+  switch (symbol) {
+    case TuringMachine::kBegin:
+      return "sym_begin";
+    case TuringMachine::kEnd:
+      return "sym_end";
+    case TuringMachine::kBlank:
+      return "sym_blank";
+    default:
+      return std::string("sym_") + symbol;
+  }
+}
+
+const char* MoveConst(TuringMachine::Move move) {
+  switch (move) {
+    case TuringMachine::Move::kLeft:
+      return "dir_left";
+    case TuringMachine::Move::kStay:
+      return "dir_stay";
+    case TuringMachine::Move::kRight:
+      return "dir_right";
+  }
+  return "?";
+}
+
+}  // namespace
+
+core::Database MakeTuringDatabase(core::SymbolTable* symbols,
+                                  const TuringMachine& tm) {
+  core::Database db;
+  auto add = [&](const std::string& pred,
+                 const std::vector<std::string>& args) {
+    util::Status st = db.AddFact(symbols, pred, args);
+    assert(st.ok());
+    (void)st;
+  };
+
+  // Transition table.
+  for (const TuringMachine::Rule& r : tm.rules) {
+    add("Trans", {StateConst(r.state), SymConst(r.read),
+                  StateConst(r.next_state), SymConst(r.write),
+                  MoveConst(r.move)});
+  }
+  // Initial configuration on the empty input:
+  //   Tape(c0,⊲,c1), Tape(c1,⊔,c2), Head(c1,q0,c2), Tape(c2,⊳,c3).
+  add("Tape", {"c0", SymConst(TuringMachine::kBegin), "c1"});
+  add("Tape", {"c1", SymConst(TuringMachine::kBlank), "c2"});
+  add("Head", {"c1", StateConst(tm.initial_state), "c2"});
+  add("Tape", {"c2", SymConst(TuringMachine::kEnd), "c3"});
+  // Helper facts giving Σ★ access to the special constants.
+  add("LDir", {MoveConst(TuringMachine::Move::kLeft)});
+  add("SDir", {MoveConst(TuringMachine::Move::kStay)});
+  add("RDir", {MoveConst(TuringMachine::Move::kRight)});
+  add("Blank", {SymConst(TuringMachine::kBlank)});
+  add("End", {SymConst(TuringMachine::kEnd)});
+  for (char sym : tm.Symbols()) {
+    add("NormSymb", {SymConst(sym)});
+  }
+  return db;
+}
+
+tgd::TgdSet MakeTuringTgds(core::SymbolTable* symbols) {
+  // The fixed Σ★ of Appendix A, verbatim. Lv/Rv are the "vertical" edge
+  // predicates (L and R in the paper).
+  static const char kProgram[] = R"(
+% Right move, head not at the end of the tape.
+Trans(x1, x2, x3, x4, x5), RDir(x5), NormSymb(w),
+  Head(x, x1, y), Tape(x, x2, y), Tape(y, w, z) ->
+  Lv(x, xp), Rv(y, yp), Rv(z, zp),
+  Tape(xp, x4, yp), Head(yp, x3, zp), Tape(yp, w, zp).
+
+% Right move onto the end marker: extend the tape with a blank.
+Trans(x1, x2, x3, x4, x5), RDir(x5), Blank(u), End(w),
+  Head(x, x1, y), Tape(x, x2, y), Tape(y, w, z) ->
+  Lv(x, xp), Rv(y, yp), Rv(z, zp),
+  Tape(xp, x4, yp), Head(yp, x3, zp), Tape(yp, u, zp), Tape(zp, w, wp).
+
+% Left move (the machine never reads beyond the first cell).
+Trans(x1, x2, x3, x4, x5), LDir(x5),
+  Tape(x, w, y), Head(y, x1, z), Tape(y, x2, z) ->
+  Rv(x, xp), Rv(y, yp), Lv(z, zp),
+  Head(xp, x3, yp), Tape(xp, w, yp), Tape(yp, x4, zp).
+
+% Stay.
+Trans(x1, x2, x3, x4, x5), SDir(x5),
+  Head(x, x1, y), Tape(x, x2, y) ->
+  Lv(x, xp), Rv(y, yp),
+  Head(xp, x3, yp), Tape(xp, x4, yp).
+
+% Copy the untouched cells to the left of the head.
+Tape(x, z, y), Lv(y, yp) -> Lv(x, xp), Tape(xp, z, yp).
+
+% Copy the untouched cells to the right of the head.
+Tape(x, z, y), Rv(x, xp) -> Tape(xp, z, yp), Rv(y, yp).
+)";
+  auto tgds = tgd::ParseTgdSet(symbols, kProgram);
+  assert(tgds.ok());
+  return std::move(*tgds);
+}
+
+Workload MakeTuringWorkload(core::SymbolTable* symbols,
+                            const TuringMachine& tm,
+                            const std::string& name) {
+  Workload out;
+  out.name = name;
+  out.tgds = MakeTuringTgds(symbols);
+  out.database = MakeTuringDatabase(symbols, tm);
+  return out;
+}
+
+TuringMachine MakeHaltingTm(std::uint32_t k) {
+  TuringMachine tm;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    tm.rules.push_back({"q" + std::to_string(i), TuringMachine::kBlank,
+                        "q" + std::to_string(i + 1), '1',
+                        TuringMachine::Move::kRight});
+  }
+  // No rule for ("q<k>", blank): the machine halts.
+  return tm;
+}
+
+TuringMachine MakeLoopingTm() {
+  TuringMachine tm;
+  tm.rules.push_back({"q0", TuringMachine::kBlank, "q0", '1',
+                      TuringMachine::Move::kRight});
+  tm.rules.push_back({"q0", '1', "q0", '1', TuringMachine::Move::kRight});
+  return tm;
+}
+
+TuringMachine MakeSpinningTm() {
+  TuringMachine tm;
+  tm.rules.push_back({"q0", TuringMachine::kBlank, "q0",
+                      TuringMachine::kBlank, TuringMachine::Move::kStay});
+  return tm;
+}
+
+TuringMachine MakeZigZagTm() {
+  TuringMachine tm;
+  tm.rules.push_back({"q0", TuringMachine::kBlank, "q1", '1',
+                      TuringMachine::Move::kRight});
+  tm.rules.push_back({"q1", TuringMachine::kBlank, "q2", '2',
+                      TuringMachine::Move::kLeft});
+  tm.rules.push_back({"q2", '1', "q3", '1', TuringMachine::Move::kStay});
+  // No rule for ("q3", '1'): halt.
+  return tm;
+}
+
+}  // namespace workload
+}  // namespace nuchase

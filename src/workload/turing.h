@@ -1,0 +1,85 @@
+#ifndef NUCHASE_WORKLOAD_TURING_H_
+#define NUCHASE_WORKLOAD_TURING_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/symbol_table.h"
+#include "tgd/tgd.h"
+#include "workload/lower_bounds.h"
+
+namespace nuchase {
+namespace workload {
+
+/// A deterministic Turing machine with a partial transition function
+/// (Appendix A). The machine halts when no transition is defined for the
+/// current (state, symbol). Tape symbols are single-character strings;
+/// the begin marker '>' , end marker '<' and blank '_' are implicit.
+struct TuringMachine {
+  enum class Move { kLeft, kStay, kRight };
+
+  struct Rule {
+    std::string state;
+    char read;
+    std::string next_state;
+    char write;
+    Move move;
+  };
+
+  std::string initial_state = "q0";
+  std::vector<Rule> rules;
+  /// All states mentioned (computed on demand by helpers).
+  std::vector<std::string> States() const;
+  /// All non-marker tape symbols mentioned (always includes '_').
+  std::vector<char> Symbols() const;
+
+  static constexpr char kBegin = '>';
+  static constexpr char kEnd = '<';
+  static constexpr char kBlank = '_';
+};
+
+/// Directly simulates the machine on the empty input, mirroring the
+/// Appendix A encoding's conventions (the tape is extended with a blank
+/// when the head moves onto the end marker). Returns the number of steps
+/// to halt, or nullopt if the machine is still running after max_steps.
+std::optional<std::uint64_t> SimulateTm(const TuringMachine& tm,
+                                        std::uint64_t max_steps);
+
+/// D_M: the database of Appendix A storing the transition table, the
+/// initial configuration on the empty input, and the direction/symbol
+/// helper facts.
+core::Database MakeTuringDatabase(core::SymbolTable* symbols,
+                                  const TuringMachine& tm);
+
+/// The fixed, machine-independent set Σ★ of Appendix A (constant-free
+/// TGDs simulating one configuration row per step; not guarded). The
+/// chase of D_M w.r.t. Σ★ is finite iff M halts on the empty input.
+tgd::TgdSet MakeTuringTgds(core::SymbolTable* symbols);
+
+/// Convenience: D_M together with Σ★.
+Workload MakeTuringWorkload(core::SymbolTable* symbols,
+                            const TuringMachine& tm,
+                            const std::string& name);
+
+/// A machine that writes k marks, moving right, then halts (k+1 states;
+/// halts after exactly k steps plus the final undefined lookup).
+TuringMachine MakeHaltingTm(std::uint32_t k);
+
+/// A machine that walks right forever (never halts).
+TuringMachine MakeLoopingTm();
+
+/// A machine that spins in place forever (never halts, constant tape).
+TuringMachine MakeSpinningTm();
+
+/// A machine that zig-zags: writes a mark, moves right onto a blank,
+/// moves back left, and halts after revisiting; exercises the left-move
+/// and copy TGDs.
+TuringMachine MakeZigZagTm();
+
+}  // namespace workload
+}  // namespace nuchase
+
+#endif  // NUCHASE_WORKLOAD_TURING_H_

@@ -1,0 +1,99 @@
+#include "workload/university.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "tgd/parser.h"
+
+namespace nuchase {
+namespace workload {
+
+namespace {
+
+/// xorshift32: deterministic, seed-stable across platforms.
+std::uint32_t Next(std::uint32_t* state) {
+  std::uint32_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  return *state = x;
+}
+
+}  // namespace
+
+Workload MakeUniversityWorkload(core::SymbolTable* symbols,
+                                const UniversityOptions& options) {
+  Workload out;
+  out.name = "university(d=" + std::to_string(options.departments) +
+             ",p=" + std::to_string(options.professors_per_department) +
+             ",s=" + std::to_string(options.students_per_department) + ")";
+
+  // The ontology. All rules are guarded; the existential ones model the
+  // usual EL-style axioms ("every professor teaches something", "every
+  // student has an advisor who is a professor of the same department").
+  std::string rules =
+      // Registration records are the raw relational data; the guarded
+      // multi-atom rule unpacks them into the ontology's binary roles.
+      "Reg(s, c, d), Dept(d) -> Enrolled(s, c), Student(s, d).\n"
+      // Domain closure.
+      "Prof(p, d) -> Dept(d).\n"
+      "Student(s, d) -> Dept(d).\n"
+      "Course(c, d) -> Dept(d).\n"
+      // Every professor teaches some course of their department.
+      "Prof(p, d) -> Teaches(p, c), Course(c, d).\n"
+      // Teaching implies the inverse role.
+      "Teaches(p, c) -> TaughtBy(c, p).\n"
+      // Every student has an advisor; the advisor is a professor of the
+      // same department.
+      "Student(s, d) -> Advises(a, s), Prof(a, d).\n"
+      "Advises(a, s) -> HasAdvisor(s).\n"
+      // An enrolled student's course is taught by someone.
+      "Enrolled(s, c) -> TaughtBy(c, p).\n";
+  if (options.include_review_rule) {
+    rules += "UnderReview(x) -> Advises(y, x), UnderReview(y).\n";
+  }
+  auto tgds = tgd::ParseTgdSet(symbols, rules);
+  assert(tgds.ok());
+  out.tgds = std::move(*tgds);
+
+  // The data.
+  std::uint32_t rng = options.seed == 0 ? 1 : options.seed;
+  for (std::uint32_t d = 0; d < options.departments; ++d) {
+    std::string dept = "dept" + std::to_string(d);
+    (void)out.database.AddFact(symbols, "Dept", {dept});
+    for (std::uint32_t p = 0; p < options.professors_per_department; ++p) {
+      (void)out.database.AddFact(
+          symbols, "Prof",
+          {"prof" + std::to_string(d) + "_" + std::to_string(p), dept});
+    }
+    for (std::uint32_t c = 0; c < options.courses_per_department; ++c) {
+      (void)out.database.AddFact(
+          symbols, "Course",
+          {"course" + std::to_string(d) + "_" + std::to_string(c), dept});
+    }
+    for (std::uint32_t s = 0; s < options.students_per_department; ++s) {
+      std::string student =
+          "stud" + std::to_string(d) + "_" + std::to_string(s);
+      // 1-3 registration records per student; Student/Enrolled atoms are
+      // derived by the unpacking rule, not stored.
+      std::uint32_t registrations = 1 + Next(&rng) % 3;
+      for (std::uint32_t e = 0; e < registrations; ++e) {
+        std::uint32_t c = Next(&rng) % options.courses_per_department;
+        (void)out.database.AddFact(
+            symbols, "Reg",
+            {student,
+             "course" + std::to_string(d) + "_" + std::to_string(c),
+             dept});
+      }
+    }
+  }
+  for (std::uint32_t r = 0; r < options.under_review; ++r) {
+    (void)out.database.AddFact(symbols, "UnderReview",
+                               {"thesis" + std::to_string(r)});
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace nuchase

@@ -1,0 +1,42 @@
+#ifndef NUCHASE_WORKLOAD_UNIVERSITY_H_
+#define NUCHASE_WORKLOAD_UNIVERSITY_H_
+
+#include <cstdint>
+
+#include "workload/lower_bounds.h"
+
+namespace nuchase {
+namespace workload {
+
+/// Parameters of the synthetic university workload (LUBM-flavoured; the
+/// kind of EL-style ontology + relational data the paper's introduction
+/// motivates for OBDA).
+struct UniversityOptions {
+  std::uint32_t departments = 4;
+  std::uint32_t professors_per_department = 5;
+  std::uint32_t students_per_department = 40;
+  std::uint32_t courses_per_department = 8;
+  /// Seed for the deterministic enrollment/teaching assignment.
+  std::uint32_t seed = 1;
+  /// Include the rule making every advisor chain extend forever
+  /// (UnderReview(x) → ∃y Advises(y, x), UnderReview(y)): with it, any
+  /// database containing an UnderReview fact makes the chase infinite.
+  bool include_review_rule = false;
+  /// Number of UnderReview seed facts (only meaningful with the rule).
+  std::uint32_t under_review = 0;
+};
+
+/// A guarded university ontology over predicates
+///   Dept/1, Prof/2 (prof, dept), Student/2 (student, dept),
+///   Course/2 (course, dept), Teaches/2, Enrolled/2 (student, course),
+///   Advises/2, HasAdvisor/1, TaughtBy/2, Colleague/2, ...
+/// with existential rules (every professor teaches some course, every
+/// student has some advisor in their department, ...) that terminate on
+/// every database — unless the optional review rule is enabled and fed.
+Workload MakeUniversityWorkload(core::SymbolTable* symbols,
+                                const UniversityOptions& options = {});
+
+}  // namespace workload
+}  // namespace nuchase
+
+#endif  // NUCHASE_WORKLOAD_UNIVERSITY_H_

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "termination/bounds.h"
+#include "tgd/parser.h"
+
+namespace nuchase {
+namespace termination {
+namespace {
+
+tgd::TgdSet ParseRules(core::SymbolTable* symbols, const char* text) {
+  auto tgds = tgd::ParseTgdSet(symbols, text);
+  EXPECT_TRUE(tgds.ok()) << tgds.status().ToString();
+  return std::move(*tgds);
+}
+
+class BoundsTest : public ::testing::Test {
+ protected:
+  core::SymbolTable symbols_;
+};
+
+TEST_F(BoundsTest, SimpleLinearDepthBoundFormula) {
+  // d_SL(Σ) = |sch(Σ)| · ar(Σ). Two predicates of arity 2: 2·2 = 4.
+  tgd::TgdSet tgds = ParseRules(&symbols_, "R(x, y) -> S(y, z).");
+  EXPECT_DOUBLE_EQ(DepthBoundSL(tgds, symbols_), 4.0);
+}
+
+TEST_F(BoundsTest, LinearDepthBoundFormula) {
+  // d_L(Σ) = |sch(Σ)| · ar(Σ)^(ar(Σ)+1). |sch| = 2, ar = 3:
+  // 2 · 3^4 = 162.
+  tgd::TgdSet tgds =
+      ParseRules(&symbols_, "R(x, y, x) -> S(y, x, z).");
+  EXPECT_DOUBLE_EQ(DepthBoundL(tgds, symbols_), 162.0);
+}
+
+TEST_F(BoundsTest, GuardedDepthBoundFormula) {
+  // d_G(Σ) = |sch(Σ)| · ar(Σ)^(2·ar(Σ)+1) · 2^(|sch(Σ)|·ar(Σ)^ar(Σ)).
+  // |sch| = 3, ar = 2: 3 · 2^5 · 2^(3·4) = 3 · 32 · 4096 = 393216.
+  tgd::TgdSet tgds =
+      ParseRules(&symbols_, "G(x, y), H(y) -> K(x, y).");
+  EXPECT_DOUBLE_EQ(DepthBoundG(tgds, symbols_), 393216.0);
+}
+
+TEST_F(BoundsTest, DepthBoundsAreNestedForTheSameSet) {
+  // SL ⊆ L ⊆ G, and the class-specific depth bounds grow in the same
+  // direction on any fixed Σ (the looser the class, the looser the
+  // guarantee).
+  const char* cases[] = {
+      "R(x, y) -> S(y, z).",
+      "A(x) -> B(x). B(x) -> C(x, w).",
+      "P(x, y, z) -> Q(z, y, w).",
+  };
+  for (const char* text : cases) {
+    core::SymbolTable symbols;
+    tgd::TgdSet tgds = ParseRules(&symbols, text);
+    double sl = DepthBoundSL(tgds, symbols);
+    double l = DepthBoundL(tgds, symbols);
+    double g = DepthBoundG(tgds, symbols);
+    EXPECT_LE(sl, l) << text;
+    EXPECT_LE(l, g) << text;
+  }
+}
+
+TEST_F(BoundsTest, DepthBoundDispatchesOnClass) {
+  tgd::TgdSet tgds = ParseRules(&symbols_, "R(x, y) -> S(y, z).");
+  EXPECT_DOUBLE_EQ(DepthBound(tgd::TgdClass::kSimpleLinear, tgds, symbols_),
+                   DepthBoundSL(tgds, symbols_));
+  EXPECT_DOUBLE_EQ(DepthBound(tgd::TgdClass::kLinear, tgds, symbols_),
+                   DepthBoundL(tgds, symbols_));
+  EXPECT_DOUBLE_EQ(DepthBound(tgd::TgdClass::kGuarded, tgds, symbols_),
+                   DepthBoundG(tgds, symbols_));
+  EXPECT_TRUE(std::isinf(
+      DepthBound(tgd::TgdClass::kGeneral, tgds, symbols_)));
+}
+
+TEST_F(BoundsTest, SizeFactorFormula) {
+  // SizeFactor(d, Σ) = (d+1) · ||Σ||^(2·ar(Σ)·(d+1)) (Prop 5.2).
+  tgd::TgdSet tgds = ParseRules(&symbols_, "R(x, y) -> S(y, z).");
+  std::uint64_t norm = tgds.Norm(symbols_);  // |atoms|·|sch|·ar = 2·2·2 = 8
+  EXPECT_EQ(norm, 8u);
+  double expected =
+      2.0 * std::pow(static_cast<double>(norm), 2.0 * 2.0 * 2.0);
+  EXPECT_DOUBLE_EQ(SizeFactor(1.0, tgds, symbols_), expected);
+}
+
+TEST_F(BoundsTest, SizeFactorMonotoneInDepth) {
+  tgd::TgdSet tgds = ParseRules(&symbols_, "R(x, y) -> S(y, z).");
+  double prev = 0;
+  for (double d : {0.0, 1.0, 2.0, 5.0, 10.0}) {
+    double f = SizeFactor(d, tgds, symbols_);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST_F(BoundsTest, GuardedSizeFactorSaturatesToInfinity) {
+  // d_G is astronomically large for any non-trivial guarded set: f_G
+  // overflows double range and must saturate (not UB, not negative).
+  tgd::TgdSet tgds =
+      ParseRules(&symbols_, "G(x, y), H(y) -> K(x, y, z).");
+  double f = SizeFactorG(tgds, symbols_);
+  EXPECT_TRUE(std::isinf(f) || f > 1e100);
+  EXPECT_GT(f, 0);
+}
+
+TEST_F(BoundsTest, GtreeLevelBoundGrowsGeometrically) {
+  // ||Σ||^(2·ar·(i+1)): the ratio between consecutive levels is
+  // ||Σ||^(2·ar), constant in i.
+  tgd::TgdSet tgds = ParseRules(&symbols_, "G(x, y), H(y) -> K(x, y).");
+  double b0 = GtreeLevelBound(0, tgds, symbols_);
+  double b1 = GtreeLevelBound(1, tgds, symbols_);
+  double b2 = GtreeLevelBound(2, tgds, symbols_);
+  ASSERT_GT(b0, 0);
+  EXPECT_DOUBLE_EQ(b1 / b0, b2 / b1);
+  double norm = static_cast<double>(tgds.Norm(symbols_));
+  EXPECT_DOUBLE_EQ(b1 / b0,
+                   std::pow(norm, 2.0 * tgds.MaxArity(symbols_)));
+}
+
+TEST_F(BoundsTest, EmptySigma) {
+  tgd::TgdSet tgds;
+  // No predicates: every bound collapses to 0; nothing crashes.
+  EXPECT_DOUBLE_EQ(DepthBoundSL(tgds, symbols_), 0.0);
+  EXPECT_GE(SizeFactorSL(tgds, symbols_), 0.0);
+}
+
+TEST_F(BoundsTest, SlChainDepthStaysWithinBound) {
+  // A chain of frontier-carrying existential hops realizes depth k − 1
+  // on k predicates; d_SL = |sch|·ar = 4·2 = 8 safely covers it.
+  core::SymbolTable symbols;
+  tgd::TgdSet tgds = ParseRules(&symbols,
+                                "R1(x, y) -> R2(y, z).\n"
+                                "R2(x, y) -> R3(y, z).\n"
+                                "R3(x, y) -> R4(y, z).\n");
+  EXPECT_DOUBLE_EQ(DepthBoundSL(tgds, symbols), 8.0);
+  EXPECT_GE(DepthBoundSL(tgds, symbols), 3.0);  // realized maxdepth
+}
+
+}  // namespace
+}  // namespace termination
+}  // namespace nuchase

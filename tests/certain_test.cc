@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "query/certain.h"
+#include <set>
+
+#include "tgd/parser.h"
+
+namespace nuchase {
+namespace query {
+namespace {
+
+class CertainAnswersTest : public ::testing::Test {
+ protected:
+  tgd::Program Parse(const std::string& text) {
+    auto p = tgd::ParseProgram(&symbols_, text);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return std::move(*p);
+  }
+
+  core::Atom MakeAtom(const std::string& pred,
+                      const std::vector<core::Term>& args) {
+    auto id = symbols_.FindPredicate(pred);
+    EXPECT_TRUE(id.ok()) << pred;
+    return core::Atom(*id, args);
+  }
+
+  core::SymbolTable symbols_;
+};
+
+TEST_F(CertainAnswersTest, InferredFactsAreCertain) {
+  // Dept(d) is not stored for "sales" but follows from the ontology.
+  tgd::Program p = Parse(
+      "Emp(alice, sales). Emp(bob, eng).\n"
+      "Emp(x, d) -> Dept(d).\n");
+  core::Term d = symbols_.InternVariable("qd");
+  AnswerQuery q{{MakeAtom("Dept", {d})}, {d}};
+  auto answers = CertainAnswers(&symbols_, p.tgds, p.database, q);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->size(), 2u);
+  std::set<core::Term> got{(*answers)[0][0], (*answers)[1][0]};
+  EXPECT_TRUE(got.count(symbols_.InternConstant("eng")));
+  EXPECT_TRUE(got.count(symbols_.InternConstant("sales")));
+}
+
+TEST_F(CertainAnswersTest, NullWitnessesAreNotCertain) {
+  // Every department has SOME manager, but no specific constant is a
+  // certain manager: the labelled null must not leak into the answers.
+  tgd::Program p = Parse(
+      "Dept(sales).\n"
+      "Dept(d) -> Mgr(d, m).\n");
+  core::Term d = symbols_.InternVariable("qd");
+  core::Term m = symbols_.InternVariable("qm");
+  AnswerQuery who{{MakeAtom("Mgr", {d, m})}, {d, m}};
+  auto answers = CertainAnswers(&symbols_, p.tgds, p.database, who);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->empty());
+
+  // The Boolean-style projection onto d alone IS certain: sales
+  // certainly has a manager.
+  AnswerQuery which{{MakeAtom("Mgr", {d, m})}, {d}};
+  auto depts = CertainAnswers(&symbols_, p.tgds, p.database, which);
+  ASSERT_TRUE(depts.ok());
+  ASSERT_EQ(depts->size(), 1u);
+  EXPECT_EQ((*depts)[0][0], symbols_.InternConstant("sales"));
+}
+
+TEST_F(CertainAnswersTest, JoinsThroughInferredAtoms) {
+  // Mgr(m,d) → Emp(m,d): managers are employees; the join Emp ⋈ Emp on
+  // the department closes over inferred tuples. Answers must still be
+  // null-free pairs of constants.
+  tgd::Program p = Parse(
+      "Emp(alice, sales). Mgr(carol, sales).\n"
+      "Mgr(m, d) -> Emp(m, d).\n");
+  core::Term e1 = symbols_.InternVariable("qe1");
+  core::Term e2 = symbols_.InternVariable("qe2");
+  core::Term d = symbols_.InternVariable("qd");
+  AnswerQuery q{{MakeAtom("Emp", {e1, d}), MakeAtom("Emp", {e2, d})},
+                {e1, e2}};
+  auto answers = CertainAnswers(&symbols_, p.tgds, p.database, q);
+  ASSERT_TRUE(answers.ok());
+  // {alice,carol} × {alice,carol}.
+  EXPECT_EQ(answers->size(), 4u);
+}
+
+TEST_F(CertainAnswersTest, RejectsUnboundAnswerVariable) {
+  tgd::Program p = Parse("R(a, b).");
+  core::Term x = symbols_.InternVariable("qx");
+  core::Term y = symbols_.InternVariable("qy");
+  AnswerQuery q{{MakeAtom("R", {x, x})}, {y}};
+  auto answers = CertainAnswers(&symbols_, p.tgds, p.database, q);
+  EXPECT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(CertainAnswersTest, NonTerminatingChaseIsReported) {
+  tgd::Program p = Parse("R(a, b). R(x, y) -> R(y, z).");
+  core::Term x = symbols_.InternVariable("qx");
+  core::Term y = symbols_.InternVariable("qy");
+  AnswerQuery q{{MakeAtom("R", {x, y})}, {x}};
+  CertainAnswersOptions options;
+  options.max_atoms = 5000;
+  auto answers =
+      CertainAnswers(&symbols_, p.tgds, p.database, q, options);
+  EXPECT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(),
+            util::StatusCode::kResourceExhausted);
+}
+
+TEST_F(CertainAnswersTest, ConstantsInQueryAtoms) {
+  tgd::Program p = Parse(
+      "Emp(alice, sales). Emp(bob, eng).\n"
+      "Emp(x, d) -> Dept(d).\n");
+  core::Term e = symbols_.InternVariable("qe");
+  AnswerQuery q{{MakeAtom("Emp", {e, symbols_.InternConstant("eng")})},
+                {e}};
+  auto answers = CertainAnswers(&symbols_, p.tgds, p.database, q);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ((*answers)[0][0], symbols_.InternConstant("bob"));
+}
+
+TEST_F(CertainAnswersTest, MonotoneInTheDatabase) {
+  tgd::Program small = Parse(
+      "Emp(alice, sales).\n"
+      "Emp(x, d) -> Dept(d).\n");
+  core::SymbolTable symbols2;
+  auto big = tgd::ParseProgram(&symbols2,
+                               "Emp(alice, sales). Emp(bob, eng).\n"
+                               "Emp(x, d) -> Dept(d).\n");
+  ASSERT_TRUE(big.ok());
+
+  core::Term d1 = symbols_.InternVariable("qd");
+  AnswerQuery q1{{MakeAtom("Dept", {d1})}, {d1}};
+  auto a1 = CertainAnswers(&symbols_, small.tgds, small.database, q1);
+
+  core::Term d2 = symbols2.InternVariable("qd");
+  auto dept2 = symbols2.FindPredicate("Dept");
+  ASSERT_TRUE(dept2.ok());
+  AnswerQuery q2{{core::Atom(*dept2, {d2})}, {d2}};
+  auto a2 = CertainAnswers(&symbols2, big->tgds, big->database, q2);
+
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_LT(a1->size(), a2->size());
+}
+
+TEST_F(CertainAnswersTest, ToStringRendersTheQuery) {
+  tgd::Program p = Parse("R(a, b).");
+  core::Term x = symbols_.InternVariable("x");
+  core::Term y = symbols_.InternVariable("y");
+  AnswerQuery q{{MakeAtom("R", {x, y})}, {x}};
+  EXPECT_EQ(q.ToString(symbols_), "?(x) :- R(x, y)");
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace nuchase

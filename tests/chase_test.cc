@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "chase/null_store.h"
+#include "chase/trigger.h"
+#include "query/evaluator.h"
+#include "tgd/parser.h"
+#include "workload/depth_family.h"
+
+namespace nuchase {
+namespace chase {
+namespace {
+
+class ChaseTest : public ::testing::Test {
+ protected:
+  tgd::Program Parse(const std::string& text) {
+    auto program = tgd::ParseProgram(&symbols_, text);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    return *program;
+  }
+  core::SymbolTable symbols_;
+};
+
+TEST_F(ChaseTest, TerminatingChaseIsAModel) {
+  tgd::Program p = Parse(
+      "R(a, b).\n"
+      "R(b, c).\n"
+      "R(x, y) -> P(x, y).\n"
+      "P(x, y) -> Q(y).\n");
+  ChaseResult result = RunChase(&symbols_, p.tgds, p.database);
+  ASSERT_TRUE(result.Terminated());
+  // D + 2 P-atoms + 2 Q-atoms.
+  EXPECT_EQ(result.instance.size(), 6u);
+  EXPECT_TRUE(query::Satisfies(result.instance, p.tgds));
+  EXPECT_EQ(result.stats.max_depth, 0u);
+}
+
+TEST_F(ChaseTest, ExistentialsInventNulls) {
+  tgd::Program p = Parse(
+      "Person(alice).\n"
+      "Person(x) -> HasParent(x, y), Person2(y).\n");
+  ChaseResult result = RunChase(&symbols_, p.tgds, p.database);
+  ASSERT_TRUE(result.Terminated());
+  EXPECT_EQ(result.instance.size(), 3u);
+  EXPECT_EQ(result.stats.max_depth, 1u);
+  EXPECT_EQ(symbols_.num_nulls(), 1u);
+}
+
+TEST_F(ChaseTest, SemiObliviousNullReuseAcrossHeadAtoms) {
+  // Both head atoms must see the same null for y (Definition 3.1: the
+  // null name depends only on (σ, h|fr, z)).
+  tgd::Program p = Parse(
+      "R(a).\n"
+      "R(x) -> S(x, y), T(y, x).\n");
+  ChaseResult result = RunChase(&symbols_, p.tgds, p.database);
+  ASSERT_TRUE(result.Terminated());
+  core::Term null;
+  for (const core::Atom& atom : result.instance.atoms()) {
+    if (symbols_.predicate_name(atom.predicate) == "S") {
+      null = atom.args[1];
+    }
+  }
+  auto t = symbols_.FindPredicate("T");
+  ASSERT_TRUE(t.ok());
+  core::Term a = symbols_.InternConstant("a");
+  EXPECT_TRUE(result.instance.Contains(core::Atom(*t, {null, a})));
+}
+
+TEST_F(ChaseTest, SemiObliviousFiresPerFrontierRestriction) {
+  // σ = R(x,y) → ∃z S(y,z): the frontier is {y}, so R(a,b) and R(c,b)
+  // yield the SAME trigger restriction and a single null.
+  tgd::Program p = Parse(
+      "R(a, b).\n"
+      "R(c, b).\n"
+      "R(x, y) -> S(y, z).\n");
+  ChaseResult result = RunChase(&symbols_, p.tgds, p.database);
+  ASSERT_TRUE(result.Terminated());
+  EXPECT_EQ(result.instance.size(), 3u);  // two facts + one S atom
+  EXPECT_EQ(symbols_.num_nulls(), 1u);
+}
+
+TEST_F(ChaseTest, InfiniteChaseHitsAtomBudget) {
+  workload::Workload w = workload::MakeInfinitePath(&symbols_);
+  ChaseOptions options;
+  options.max_atoms = 50;
+  ChaseResult result = RunChase(&symbols_, w.tgds, w.database, options);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kAtomLimit);
+  EXPECT_GT(result.instance.size(), 50u - 2);
+}
+
+TEST_F(ChaseTest, InfiniteChaseHitsDepthBudget) {
+  workload::Workload w = workload::MakeInfinitePath(&symbols_);
+  ChaseOptions options;
+  options.max_depth = 7;
+  ChaseResult result = RunChase(&symbols_, w.tgds, w.database, options);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kDepthLimit);
+  EXPECT_EQ(result.stats.max_depth, 8u);  // the offending null
+}
+
+TEST_F(ChaseTest, RoundBudget) {
+  workload::Workload w = workload::MakeInfinitePath(&symbols_);
+  ChaseOptions options;
+  options.max_rounds = 3;
+  ChaseResult result = RunChase(&symbols_, w.tgds, w.database, options);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kRoundLimit);
+  EXPECT_EQ(result.stats.rounds, 3u);
+}
+
+TEST_F(ChaseTest, FairnessAllTgdsEventuallyFire) {
+  // Section 3: a fair derivation must satisfy σ' = R(x,y) → P(x,y) along
+  // the way; our breadth-first engine is fair by construction.
+  workload::Workload w = workload::MakeFairnessExample(&symbols_);
+  ChaseOptions options;
+  options.max_atoms = 60;
+  ChaseResult result = RunChase(&symbols_, w.tgds, w.database, options);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kAtomLimit);
+  auto pf = symbols_.FindPredicate("Pf");
+  ASSERT_TRUE(pf.ok());
+  // Many Pf atoms must exist, not just Rf atoms.
+  EXPECT_GT(result.instance.AtomsWithPredicate(*pf).size(), 10u);
+}
+
+TEST_F(ChaseTest, JoinAcrossBodyAtoms) {
+  tgd::Program p = Parse(
+      "E(a, b).\n"
+      "E(b, c).\n"
+      "E(c, d).\n"
+      "E(x, y), E(y, z) -> E2(x, z).\n"
+      "E2(x, y), E(y, z) -> E3(x, z).\n");
+  ChaseResult result = RunChase(&symbols_, p.tgds, p.database);
+  ASSERT_TRUE(result.Terminated());
+  auto e2 = symbols_.FindPredicate("E2");
+  auto e3 = symbols_.FindPredicate("E3");
+  ASSERT_TRUE(e2.ok());
+  ASSERT_TRUE(e3.ok());
+  EXPECT_EQ(result.instance.AtomsWithPredicate(*e2).size(), 2u);
+  EXPECT_EQ(result.instance.AtomsWithPredicate(*e3).size(), 1u);
+}
+
+TEST_F(ChaseTest, RepeatedVariablesInBodyMatchOnlyEqualArgs) {
+  tgd::Program p = Parse(
+      "R(a, b).\n"
+      "R(c, c).\n"
+      "R(x, x) -> Loop(x).\n");
+  ChaseResult result = RunChase(&symbols_, p.tgds, p.database);
+  ASSERT_TRUE(result.Terminated());
+  auto loop = symbols_.FindPredicate("Loop");
+  ASSERT_TRUE(loop.ok());
+  ASSERT_EQ(result.instance.AtomsWithPredicate(*loop).size(), 1u);
+}
+
+TEST_F(ChaseTest, Example71HasNoTrigger) {
+  workload::Workload w = workload::MakeExample71(&symbols_);
+  ChaseResult result = RunChase(&symbols_, w.tgds, w.database);
+  ASSERT_TRUE(result.Terminated());
+  EXPECT_EQ(result.instance.size(), w.database.size());
+  EXPECT_EQ(result.stats.triggers_fired, 0u);
+}
+
+TEST_F(ChaseTest, DepthFamilyMaxDepth) {
+  for (std::uint32_t n : {2u, 3u, 5u, 8u}) {
+    core::SymbolTable symbols;
+    workload::Workload w = workload::MakeDepthFamily(&symbols, n);
+    EXPECT_EQ(w.database.size(), n);
+    ChaseResult result = RunChase(&symbols, w.tgds, w.database);
+    ASSERT_TRUE(result.Terminated());
+    EXPECT_EQ(result.stats.max_depth, n - 1) << "n=" << n;
+  }
+}
+
+TEST_F(ChaseTest, DepthFamilyInfiniteVariant) {
+  workload::Workload w = workload::MakeDepthFamilyInfinite(&symbols_);
+  ChaseOptions options;
+  options.max_atoms = 100;
+  ChaseResult result = RunChase(&symbols_, w.tgds, w.database, options);
+  EXPECT_FALSE(result.Terminated());
+}
+
+TEST_F(ChaseTest, ForestRecordsGuardParents) {
+  tgd::Program p = Parse(
+      "R(a, b).\n"
+      "R(x, y) -> S(x, y, z).\n"
+      "S(x, y, z), R(x, y) -> T(z).\n");
+  ChaseOptions options;
+  options.build_forest = true;
+  ChaseResult result = RunChase(&symbols_, p.tgds, p.database, options);
+  ASSERT_TRUE(result.Terminated());
+  ASSERT_EQ(result.forest.size(), result.instance.size());
+  EXPECT_EQ(result.forest.roots().size(), 1u);
+  // All derived atoms belong to the tree rooted at R(a,b).
+  EXPECT_EQ(result.forest.GtreeSize(0), result.instance.size());
+  auto hist = result.forest.GtreeDepthHistogram(0);
+  EXPECT_EQ(hist[0], 1u);  // the root
+  EXPECT_EQ(hist[1], 2u);  // S(a,b,⊥) and T(⊥)
+}
+
+TEST_F(ChaseTest, EmptyTgdSetLeavesDatabase) {
+  tgd::Program p = Parse("R(a, b).\n");
+  ChaseResult result = RunChase(&symbols_, p.tgds, p.database);
+  ASSERT_TRUE(result.Terminated());
+  EXPECT_EQ(result.instance.size(), 1u);
+  EXPECT_EQ(result.stats.rounds, 1u);
+}
+
+TEST_F(ChaseTest, EmptyFrontierFiresOnce) {
+  // σ = R(x) → ∃z Q(z): fr(σ) = ∅, so the semi-oblivious chase invents a
+  // single null regardless of how many R-facts exist.
+  tgd::Program p = Parse(
+      "R(a).\n"
+      "R(b).\n"
+      "R(x) -> Q(z).\n");
+  ChaseResult result = RunChase(&symbols_, p.tgds, p.database);
+  ASSERT_TRUE(result.Terminated());
+  auto q = symbols_.FindPredicate("Q");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(result.instance.AtomsWithPredicate(*q).size(), 1u);
+}
+
+TEST(NullStoreTest, KeysOnTgdVarAndFrontier) {
+  core::SymbolTable symbols;
+  NullStore store(&symbols);
+  core::Term z1 = symbols.InternVariable("z1");
+  core::Term z2 = symbols.InternVariable("z2");
+  core::Term a = symbols.InternConstant("a");
+  core::Term b = symbols.InternConstant("b");
+
+  core::Term n1 = store.GetOrCreate(0, z1, {a});
+  EXPECT_EQ(store.GetOrCreate(0, z1, {a}), n1);  // same key → same null
+  EXPECT_NE(store.GetOrCreate(0, z2, {a}), n1);  // different variable
+  EXPECT_NE(store.GetOrCreate(1, z1, {a}), n1);  // different TGD
+  EXPECT_NE(store.GetOrCreate(0, z1, {b}), n1);  // different frontier
+  EXPECT_EQ(store.size(), 4u);
+}
+
+TEST(NullStoreTest, DepthIsOnePlusMaxFrontierDepth) {
+  core::SymbolTable symbols;
+  NullStore store(&symbols);
+  core::Term z = symbols.InternVariable("z");
+  core::Term a = symbols.InternConstant("a");
+
+  core::Term n1 = store.GetOrCreate(0, z, {a});
+  EXPECT_EQ(symbols.depth(n1), 1u);
+  core::Term n2 = store.GetOrCreate(0, z, {n1});
+  EXPECT_EQ(symbols.depth(n2), 2u);
+  core::Term n3 = store.GetOrCreate(0, z, {a, n2});
+  EXPECT_EQ(symbols.depth(n3), 3u);
+  // Empty frontier: depth 1 (= 1 + max(∅ ∪ {0})).
+  core::Term n4 = store.GetOrCreate(7, z, {});
+  EXPECT_EQ(symbols.depth(n4), 1u);
+}
+
+TEST(SubstitutionTest, ApplyLeavesUnboundVariables) {
+  core::SymbolTable symbols;
+  auto r = symbols.InternPredicate("R", 2);
+  core::Term x = symbols.InternVariable("x");
+  core::Term y = symbols.InternVariable("y");
+  core::Term a = symbols.InternConstant("a");
+  Substitution h{{x, a}};
+  core::Atom out = ApplySubstitution(core::Atom(*r, {x, y}), h);
+  EXPECT_EQ(out.args[0], a);
+  EXPECT_EQ(out.args[1], y);
+}
+
+}  // namespace
+}  // namespace chase
+}  // namespace nuchase

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "query/evaluator.h"
+#include "tgd/parser.h"
+#include "workload/depth_family.h"
+#include "workload/lower_bounds.h"
+#include "workload/random_tgds.h"
+
+namespace nuchase {
+namespace chase {
+namespace {
+
+ChaseResult Chase(core::SymbolTable* symbols, const tgd::Program& p,
+                ChaseVariant variant, std::uint64_t max_atoms = 100000) {
+  ChaseOptions options;
+  options.variant = variant;
+  options.max_atoms = max_atoms;
+  return RunChase(symbols, p.tgds, p.database, options);
+}
+
+TEST(ChaseVariantsTest, VariantNames) {
+  EXPECT_STREQ(ChaseVariantName(ChaseVariant::kSemiOblivious),
+               "semi-oblivious");
+  EXPECT_STREQ(ChaseVariantName(ChaseVariant::kOblivious), "oblivious");
+  EXPECT_STREQ(ChaseVariantName(ChaseVariant::kRestricted), "restricted");
+}
+
+TEST(ChaseVariantsTest, AgreeOnExistentialFreeRules) {
+  // Plain datalog: all three chases compute the same least model.
+  core::SymbolTable symbols;
+  auto p = tgd::ParseProgram(&symbols,
+                             "E(a, b). E(b, c). E(c, d).\n"
+                             "E(x, y) -> T(x, y).\n"
+                             "E(x, y), T(y, z) -> T(x, z).\n");
+  ASSERT_TRUE(p.ok());
+  ChaseResult so = Chase(&symbols, *p, ChaseVariant::kSemiOblivious);
+  ChaseResult ob = Chase(&symbols, *p, ChaseVariant::kOblivious);
+  ChaseResult re = Chase(&symbols, *p, ChaseVariant::kRestricted);
+  ASSERT_TRUE(so.Terminated());
+  ASSERT_TRUE(ob.Terminated());
+  ASSERT_TRUE(re.Terminated());
+  EXPECT_EQ(so.instance.ToSortedString(symbols),
+            ob.instance.ToSortedString(symbols));
+  EXPECT_EQ(so.instance.ToSortedString(symbols),
+            re.instance.ToSortedString(symbols));
+}
+
+TEST(ChaseVariantsTest, ObliviousRefinesSemiOblivious) {
+  // σ = Emp(e,d) → ∃m Mgr(d,m) has frontier {d} only: the semi-oblivious
+  // chase invents one manager per department, the oblivious one per
+  // (employee, department) pair.
+  core::SymbolTable symbols;
+  auto p = tgd::ParseProgram(&symbols,
+                             "Emp(e1, d1). Emp(e2, d1). Emp(e3, d2).\n"
+                             "Emp(e, d) -> Mgr(d, m).\n");
+  ASSERT_TRUE(p.ok());
+  ChaseResult so = Chase(&symbols, *p, ChaseVariant::kSemiOblivious);
+  ChaseResult ob = Chase(&symbols, *p, ChaseVariant::kOblivious);
+  ASSERT_TRUE(so.Terminated());
+  ASSERT_TRUE(ob.Terminated());
+  // 3 Emp + 2 Mgr (one per department) vs 3 Emp + 3 Mgr.
+  EXPECT_EQ(so.instance.size(), 5u);
+  EXPECT_EQ(ob.instance.size(), 6u);
+}
+
+TEST(ChaseVariantsTest, RestrictedSkipsSatisfiedTriggers) {
+  // The database already provides a witness for e1's department: the
+  // restricted chase fires nothing, the semi-oblivious chase still
+  // invents its functional null.
+  core::SymbolTable symbols;
+  auto p = tgd::ParseProgram(&symbols,
+                             "Emp(e1, d1). Mgr(d1, boss).\n"
+                             "Emp(e, d) -> Mgr(d, m).\n");
+  ASSERT_TRUE(p.ok());
+  ChaseResult re = Chase(&symbols, *p, ChaseVariant::kRestricted);
+  ASSERT_TRUE(re.Terminated());
+  EXPECT_EQ(re.instance.size(), 2u);
+  EXPECT_EQ(re.stats.triggers_fired, 0u);
+  EXPECT_EQ(re.stats.triggers_satisfied, 1u);
+
+  core::SymbolTable symbols2;
+  auto p2 = tgd::ParseProgram(&symbols2,
+                              "Emp(e1, d1). Mgr(d1, boss).\n"
+                              "Emp(e, d) -> Mgr(d, m).\n");
+  ASSERT_TRUE(p2.ok());
+  ChaseResult so = Chase(&symbols2, *p2, ChaseVariant::kSemiOblivious);
+  ASSERT_TRUE(so.Terminated());
+  EXPECT_EQ(so.instance.size(), 3u);
+}
+
+TEST(ChaseVariantsTest, RestrictedTerminatesWhereSemiObliviousDoesNot) {
+  // Σ = { R(x,y) → R(y,y),  R(x,y) → ∃z R(y,z) } over {R(a,b)}. The
+  // first rule (listed first, so fired first in each round) provides the
+  // witness R(y,y) that satisfies the second rule's head: the restricted
+  // chase stops after one round, while the semi-oblivious chase spins a
+  // fresh null per step. CT^so_D ⊊ CT^res_D is strict.
+  core::SymbolTable symbols;
+  auto p = tgd::ParseProgram(&symbols,
+                             "R(a, b).\n"
+                             "R(x, y) -> R(y, y).\n"
+                             "R(x, y) -> R(y, z).\n");
+  ASSERT_TRUE(p.ok());
+  ChaseResult re = Chase(&symbols, *p, ChaseVariant::kRestricted, 10000);
+  EXPECT_TRUE(re.Terminated());
+  EXPECT_GT(re.stats.triggers_satisfied, 0u);
+
+  ChaseResult so =
+      Chase(&symbols, *p, ChaseVariant::kSemiOblivious, 10000);
+  EXPECT_FALSE(so.Terminated());
+  ChaseResult ob = Chase(&symbols, *p, ChaseVariant::kOblivious, 10000);
+  EXPECT_FALSE(ob.Terminated());
+}
+
+TEST(ChaseVariantsTest, FrontierEmptyRuleCollapsesSemiObliviously) {
+  // P(x) → ∃z Q(z) has fr(σ) = ∅: the semi-oblivious chase fires it
+  // exactly once no matter how many P-facts exist (the null ⊥^z_{σ,∅}
+  // is shared), while the oblivious chase invents one Q-null per
+  // homomorphism.
+  core::SymbolTable symbols;
+  auto p = tgd::ParseProgram(&symbols, "P(a). P(b). P(x) -> Q(z).");
+  ASSERT_TRUE(p.ok());
+  ChaseResult so = Chase(&symbols, *p, ChaseVariant::kSemiOblivious);
+  ChaseResult ob = Chase(&symbols, *p, ChaseVariant::kOblivious);
+  ASSERT_TRUE(so.Terminated());
+  ASSERT_TRUE(ob.Terminated());
+  EXPECT_EQ(so.instance.size(), 3u);  // one shared Q-null
+  EXPECT_EQ(ob.instance.size(), 4u);  // one Q-null per P-fact
+}
+
+TEST(ChaseVariantsTest, AllVariantsSatisfyTheTgdsOnTermination) {
+  for (ChaseVariant variant :
+       {ChaseVariant::kSemiOblivious, ChaseVariant::kOblivious,
+        ChaseVariant::kRestricted}) {
+    core::SymbolTable symbols;
+    auto p = tgd::ParseProgram(&symbols,
+                               "G(a, b). H(b).\n"
+                               "G(x, y), H(y) -> K(x, y, z).\n"
+                               "K(x, y, z) -> H(z).\n"
+                               "K(x, y, z) -> L(z, x).\n");
+    ASSERT_TRUE(p.ok());
+    ChaseResult r = Chase(&symbols, *p, variant);
+    ASSERT_TRUE(r.Terminated()) << ChaseVariantName(variant);
+    EXPECT_TRUE(query::Satisfies(r.instance, p->tgds))
+        << ChaseVariantName(variant);
+  }
+}
+
+TEST(ChaseVariantsTest, RestrictedNeverLargerThanSemiOblivious) {
+  // On every random workload whose semi-oblivious chase terminates, the
+  // restricted result is no larger (it fires a subset of the triggers
+  // and adds witnesses only when needed).
+  for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+    core::SymbolTable symbols;
+    workload::RandomTgdOptions options;
+    options.seed = seed;
+    options.target = tgd::TgdClass::kGuarded;
+    workload::Workload w = workload::MakeRandomWorkload(&symbols, options);
+    ChaseOptions copt;
+    copt.max_atoms = 50000;
+    ChaseResult so = RunChase(&symbols, w.tgds, w.database, copt);
+    if (!so.Terminated()) continue;
+    copt.variant = ChaseVariant::kRestricted;
+    ChaseResult re = RunChase(&symbols, w.tgds, w.database, copt);
+    ASSERT_TRUE(re.Terminated()) << w.name;
+    EXPECT_LE(re.instance.size(), so.instance.size()) << w.name;
+    EXPECT_TRUE(query::Satisfies(re.instance, w.tgds)) << w.name;
+
+    copt.variant = ChaseVariant::kOblivious;
+    ChaseResult ob = RunChase(&symbols, w.tgds, w.database, copt);
+    if (ob.Terminated()) {
+      EXPECT_GE(ob.instance.size(), so.instance.size()) << w.name;
+    }
+  }
+}
+
+TEST(ChaseVariantsTest, Proposition45DepthFamilyAgreesAcrossVariants) {
+  // The Prop 4.5 family is TGD-singleton with a full-frontier rule: all
+  // variants coincide there (every body variable is frontier, and no
+  // head witness pre-exists).
+  for (std::uint32_t n : {3u, 5u, 8u}) {
+    core::SymbolTable symbols;
+    workload::Workload w = workload::MakeDepthFamily(&symbols, n);
+    for (ChaseVariant variant :
+         {ChaseVariant::kSemiOblivious, ChaseVariant::kOblivious}) {
+      ChaseOptions options;
+      options.variant = variant;
+      ChaseResult r = RunChase(&symbols, w.tgds, w.database, options);
+      ASSERT_TRUE(r.Terminated());
+      EXPECT_EQ(r.stats.max_depth, n - 1) << ChaseVariantName(variant);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chase
+}  // namespace nuchase

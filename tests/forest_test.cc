@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "tgd/parser.h"
+#include "workload/lower_bounds.h"
+#include "workload/random_tgds.h"
+
+namespace nuchase {
+namespace chase {
+namespace {
+
+ChaseResult RunWithForest(core::SymbolTable* symbols,
+                          const tgd::TgdSet& tgds,
+                          const core::Database& db) {
+  ChaseOptions options;
+  options.build_forest = true;
+  options.max_atoms = 100000;
+  return RunChase(symbols, tgds, db, options);
+}
+
+TEST(ForestTest, RootsAreExactlyTheDatabaseAtoms) {
+  core::SymbolTable symbols;
+  auto p = tgd::ParseProgram(&symbols,
+                             "G(a, b). H(b). G(c, d).\n"
+                             "G(x, y), H(y) -> K(x, y, z).\n"
+                             "K(x, y, z) -> H(z).\n");
+  ASSERT_TRUE(p.ok());
+  ChaseResult r = RunWithForest(&symbols, p->tgds, p->database);
+  ASSERT_TRUE(r.Terminated());
+  ASSERT_EQ(r.forest.roots().size(), p->database.size());
+  for (core::AtomIndex root : r.forest.roots()) {
+    EXPECT_EQ(r.forest.parent(root), Forest::kNoParent);
+    EXPECT_EQ(r.forest.root(root), root);
+    EXPECT_EQ(r.forest.depth(root), 0u);  // facts have depth 0
+  }
+}
+
+TEST(ForestTest, EveryDerivedAtomDescendsFromItsGuard) {
+  core::SymbolTable symbols;
+  auto p = tgd::ParseProgram(&symbols,
+                             "G(a, b). H(b).\n"
+                             "G(x, y), H(y) -> K(x, y, z).\n"
+                             "K(x, y, z) -> H(z).\n"
+                             "K(x, y, z) -> L(z, x).\n");
+  ASSERT_TRUE(p.ok());
+  ChaseResult r = RunWithForest(&symbols, p->tgds, p->database);
+  ASSERT_TRUE(r.Terminated());
+  for (core::AtomIndex i = 0; i < r.instance.size(); ++i) {
+    core::AtomIndex parent = r.forest.parent(i);
+    if (parent == Forest::kNoParent) continue;
+    // Walking parents reaches the recorded root.
+    core::AtomIndex cur = i;
+    int steps = 0;
+    while (r.forest.parent(cur) != Forest::kNoParent && steps < 1000) {
+      cur = r.forest.parent(cur);
+      ++steps;
+    }
+    EXPECT_EQ(cur, r.forest.root(i));
+  }
+}
+
+TEST(ForestTest, ChildDepthWithinOneOfParent) {
+  // Lemma 5.1's proof skeleton: a child invents nulls of depth at most
+  // parent-frontier-depth + 1, so depth(child) ≤ max over tree path + 1.
+  core::SymbolTable symbols;
+  workload::Workload w = workload::MakeGuardedLowerBound(&symbols, 1, 1, 1);
+  ChaseResult r = RunWithForest(&symbols, w.tgds, w.database);
+  ASSERT_TRUE(r.Terminated());
+  for (core::AtomIndex i = 0; i < r.instance.size(); ++i) {
+    core::AtomIndex parent = r.forest.parent(i);
+    if (parent == Forest::kNoParent) continue;
+    EXPECT_LE(r.forest.depth(i), r.forest.depth(parent) + 1)
+        << "atom " << i;
+  }
+}
+
+TEST(ForestTest, HistogramSumsToTreeSize) {
+  core::SymbolTable symbols;
+  workload::Workload w = workload::MakeSlLowerBound(&symbols, 3, 2, 2);
+  ChaseResult r = RunWithForest(&symbols, w.tgds, w.database);
+  ASSERT_TRUE(r.Terminated());
+  for (core::AtomIndex root : r.forest.roots()) {
+    std::uint64_t total = 0;
+    for (const auto& [depth, count] :
+         r.forest.GtreeDepthHistogram(root)) {
+      total += count;
+    }
+    EXPECT_EQ(total, r.forest.GtreeSize(root));
+  }
+}
+
+TEST(ForestTest, TreesPartitionTheGuardedChase) {
+  // gforest(δ) = union of gtree(δ, α) over database atoms α, and the
+  // trees are node-disjoint (every atom has one root).
+  core::SymbolTable symbols;
+  auto p = tgd::ParseProgram(&symbols,
+                             "G(a, b). H(b). G(b, c). H(c).\n"
+                             "G(x, y), H(y) -> K(x, y, z).\n"
+                             "K(x, y, z) -> L(z).\n");
+  ASSERT_TRUE(p.ok());
+  ChaseResult r = RunWithForest(&symbols, p->tgds, p->database);
+  ASSERT_TRUE(r.Terminated());
+  std::uint64_t total = 0;
+  for (core::AtomIndex root : r.forest.roots()) {
+    total += r.forest.GtreeSize(root);
+  }
+  EXPECT_EQ(total, r.instance.size());
+}
+
+TEST(ForestTest, ForestOffByDefault) {
+  core::SymbolTable symbols;
+  auto p = tgd::ParseProgram(&symbols, "A(a, b). A(x, y) -> B(y, z).");
+  ASSERT_TRUE(p.ok());
+  ChaseResult r = RunChase(&symbols, p->tgds, p->database);
+  EXPECT_TRUE(r.forest.empty());
+}
+
+TEST(ForestTest, RandomGuardedForestsAreWellFormed) {
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    core::SymbolTable symbols;
+    workload::RandomTgdOptions options;
+    options.seed = seed;
+    options.target = tgd::TgdClass::kGuarded;
+    workload::Workload w = workload::MakeRandomWorkload(&symbols, options);
+    ChaseResult r = RunWithForest(&symbols, w.tgds, w.database);
+    if (!r.Terminated()) continue;
+    ASSERT_EQ(r.forest.size(), r.instance.size()) << w.name;
+    for (core::AtomIndex i = 0; i < r.instance.size(); ++i) {
+      core::AtomIndex parent = r.forest.parent(i);
+      if (parent != Forest::kNoParent) {
+        EXPECT_LT(parent, i) << w.name;  // parents precede children
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chase
+}  // namespace nuchase

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "graph/dependency_graph.h"
+#include "graph/predicate_graph.h"
+#include "graph/weak_acyclicity.h"
+#include "tgd/parser.h"
+
+namespace nuchase {
+namespace graph {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  tgd::TgdSet ParseRules(const std::string& text) {
+    auto tgds = tgd::ParseTgdSet(&symbols_, text);
+    EXPECT_TRUE(tgds.ok()) << tgds.status().ToString();
+    return *tgds;
+  }
+  core::Database ParseFacts(const std::string& text) {
+    auto db = tgd::ParseDatabase(&symbols_, text);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    return *db;
+  }
+  core::SymbolTable symbols_;
+};
+
+TEST_F(GraphTest, EdgesOfSingleTgd) {
+  // R(x,y) → ∃z R(y,z): normal (R,2)→(R,1); special (R,1)→(R,2) and
+  // (R,2)→(R,2) (one per body position of the frontier variable... here
+  // only y is frontier, at body position 2).
+  tgd::TgdSet tgds = ParseRules("R(x, y) -> R(y, z).");
+  DependencyGraph dg(tgds, symbols_);
+  EXPECT_EQ(dg.num_nodes(), 2u);
+  std::size_t normal = 0, special = 0;
+  for (const auto& e : dg.edges()) {
+    (e.special ? special : normal) += 1;
+  }
+  EXPECT_EQ(normal, 1u);
+  EXPECT_EQ(special, 1u);
+  EXPECT_TRUE(dg.HasSpecialCycle());
+}
+
+TEST_F(GraphTest, FullTgdHasNoSpecialEdges) {
+  tgd::TgdSet tgds = ParseRules("R(x, y) -> S(y, x).");
+  DependencyGraph dg(tgds, symbols_);
+  for (const auto& e : dg.edges()) EXPECT_FALSE(e.special);
+  EXPECT_FALSE(dg.HasSpecialCycle());
+}
+
+TEST_F(GraphTest, SpecialEdgeWithoutCycleIsHarmless) {
+  tgd::TgdSet tgds = ParseRules("R(x) -> S(x, z).");
+  DependencyGraph dg(tgds, symbols_);
+  std::size_t special = 0;
+  for (const auto& e : dg.edges()) special += e.special ? 1 : 0;
+  EXPECT_EQ(special, 1u);
+  EXPECT_FALSE(dg.HasSpecialCycle());
+}
+
+TEST_F(GraphTest, TwoRuleSpecialCycle) {
+  // (S,1) feeds back into (R,1) and the existential closes the cycle.
+  tgd::TgdSet tgds = ParseRules(
+      "R(x) -> S(x, z).\n"
+      "S(x, y) -> R(y).\n");
+  DependencyGraph dg(tgds, symbols_);
+  EXPECT_TRUE(dg.HasSpecialCycle());
+}
+
+TEST_F(GraphTest, PredicateGraphReachability) {
+  tgd::TgdSet tgds = ParseRules(
+      "A(x) -> B(x).\n"
+      "B(x) -> C(x).\n"
+      "D(x) -> D(x).\n");
+  PredicateGraph pg(tgds);
+  auto a = *symbols_.FindPredicate("A");
+  auto c = *symbols_.FindPredicate("C");
+  auto d = *symbols_.FindPredicate("D");
+  EXPECT_TRUE(pg.Reaches(a, c));
+  EXPECT_TRUE(pg.Reaches(a, a));  // reflexive
+  EXPECT_FALSE(pg.Reaches(c, a));
+  EXPECT_FALSE(pg.Reaches(a, d));
+
+  auto fwd = pg.ForwardClosure({a});
+  EXPECT_EQ(fwd.size(), 3u);
+  auto bwd = pg.BackwardClosure({c});
+  EXPECT_EQ(bwd.size(), 3u);
+}
+
+TEST_F(GraphTest, WeakAcyclicitySupportedCycle) {
+  // The canonical non-terminating pair: D touches R, so the special cycle
+  // is D-supported.
+  tgd::TgdSet tgds = ParseRules("R(x, y) -> R(y, z).");
+  core::Database db = ParseFacts("R(a, b).");
+  auto wa = CheckWeakAcyclicity(tgds, db, symbols_);
+  EXPECT_FALSE(wa.weakly_acyclic);
+  EXPECT_FALSE(wa.special_cycle_positions.empty());
+  EXPECT_FALSE(wa.supported_witnesses.empty());
+}
+
+TEST_F(GraphTest, WeakAcyclicityUnsupportedCycle) {
+  // Same Σ plus an unrelated predicate; D only mentions the unrelated
+  // predicate, so the cycle is not D-supported (Definition 6.1).
+  tgd::TgdSet tgds = ParseRules(
+      "R(x, y) -> R(y, z).\n"
+      "Q(x) -> Q2(x).\n");
+  core::Database db = ParseFacts("Q(a).");
+  auto wa = CheckWeakAcyclicity(tgds, db, symbols_);
+  EXPECT_TRUE(wa.weakly_acyclic);
+  EXPECT_FALSE(wa.special_cycle_positions.empty());  // cycle exists...
+  EXPECT_TRUE(wa.supported_witnesses.empty());       // ...unsupported
+}
+
+TEST_F(GraphTest, SupportViaReachability) {
+  // D mentions only P, but P ⇝ R, which lies on the special cycle.
+  tgd::TgdSet tgds = ParseRules(
+      "P(x) -> R(x, x).\n"
+      "R(x, y) -> R(y, z).\n");
+  core::Database db = ParseFacts("P(a).");
+  auto wa = CheckWeakAcyclicity(tgds, db, symbols_);
+  EXPECT_FALSE(wa.weakly_acyclic);
+}
+
+TEST_F(GraphTest, EmptyDatabaseSupportsNothing) {
+  tgd::TgdSet tgds = ParseRules("R(x, y) -> R(y, z).");
+  core::Database empty;
+  auto wa = CheckWeakAcyclicity(tgds, empty, symbols_);
+  EXPECT_TRUE(wa.weakly_acyclic);
+}
+
+TEST_F(GraphTest, UniformWeakAcyclicity) {
+  EXPECT_FALSE(
+      IsUniformlyWeaklyAcyclic(ParseRules("R(x, y) -> R(y, z)."),
+                               symbols_));
+  EXPECT_TRUE(IsUniformlyWeaklyAcyclic(
+      ParseRules("S(x, y) -> T(y, z)."), symbols_));
+}
+
+TEST_F(GraphTest, SupportPredicatesBackwardClosure) {
+  tgd::TgdSet tgds = ParseRules(
+      "P(x) -> R(x, x).\n"
+      "R(x, y) -> R(y, z).\n"
+      "R(x, y) -> Sink(x).\n");
+  auto support = SupportPredicates(tgds, symbols_);
+  // P and R support the cycle; Sink does not (it is downstream).
+  EXPECT_TRUE(support.count(*symbols_.FindPredicate("P")));
+  EXPECT_TRUE(support.count(*symbols_.FindPredicate("R")));
+  EXPECT_FALSE(support.count(*symbols_.FindPredicate("Sink")));
+}
+
+TEST_F(GraphTest, NormalCycleAloneIsWeaklyAcyclic) {
+  tgd::TgdSet tgds = ParseRules(
+      "R(x, y) -> S(y, x).\n"
+      "S(x, y) -> R(y, x).\n");
+  core::Database db = ParseFacts("R(a, b).");
+  auto wa = CheckWeakAcyclicity(tgds, db, symbols_);
+  EXPECT_TRUE(wa.weakly_acyclic);
+}
+
+TEST_F(GraphTest, MultiHeadEdges) {
+  // Frontier x feeds two head atoms; existential z appears in both.
+  tgd::TgdSet tgds = ParseRules("R(x) -> S(x, z), T(z, x).");
+  DependencyGraph dg(tgds, symbols_);
+  std::size_t normal = 0, special = 0;
+  for (const auto& e : dg.edges()) {
+    (e.special ? special : normal) += 1;
+  }
+  // Normal: (R,1)→(S,1) and (R,1)→(T,2). Special: (R,1)→(S,2), (R,1)→(T,1).
+  EXPECT_EQ(normal, 2u);
+  EXPECT_EQ(special, 2u);
+}
+
+TEST_F(GraphTest, FindNode) {
+  tgd::TgdSet tgds = ParseRules("R(x) -> S(x, z).");
+  DependencyGraph dg(tgds, symbols_);
+  DependencyGraph::NodeId id = 0;
+  EXPECT_TRUE(
+      dg.FindNode(core::Position(*symbols_.FindPredicate("S"), 1), &id));
+  auto unknown = symbols_.InternPredicate("Zzz", 1);
+  EXPECT_FALSE(dg.FindNode(core::Position(*unknown, 0), &id));
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace nuchase

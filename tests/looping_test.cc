@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "saturation/type_oracle.h"
+#include "termination/looping.h"
+#include "termination/syntactic_decider.h"
+#include "tgd/classify.h"
+#include "tgd/parser.h"
+
+namespace nuchase {
+namespace termination {
+namespace {
+
+class LoopingTest : public ::testing::Test {
+ protected:
+  tgd::Program Parse(const std::string& text) {
+    auto p = tgd::ParseProgram(&symbols_, text);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return std::move(*p);
+  }
+
+  core::SymbolTable symbols_;
+};
+
+TEST_F(LoopingTest, GoalEntailedMakesTheLoopSpin) {
+  // Alarm() is entailed: Smoke(a) → Fire(a) → Alarm(). The looped
+  // program must therefore be non-terminating.
+  tgd::Program p = Parse(
+      "Smoke(a).\n"
+      "Smoke(x) -> Fire(x).\n"
+      "Fire(x) -> Alarm().\n");
+  auto alarm = symbols_.FindPredicate("Alarm");
+  ASSERT_TRUE(alarm.ok());
+  auto looped = ApplyLoopingOperator(&symbols_, p.tgds, p.database,
+                                     *alarm);
+  ASSERT_TRUE(looped.ok()) << looped.status().ToString();
+  // Guardedness is preserved (the reduction stays within G).
+  EXPECT_TRUE(tgd::ClassContainedIn(tgd::Classify(looped->tgds),
+                                    tgd::TgdClass::kGuarded));
+
+  auto d = Decide(&symbols_, looped->tgds, looped->database);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->decision, Decision::kDoesNotTerminate);
+
+  chase::ChaseOptions options;
+  options.max_atoms = 10000;
+  EXPECT_FALSE(chase::RunChase(&symbols_, looped->tgds,
+                               looped->database, options)
+                   .Terminated());
+}
+
+TEST_F(LoopingTest, GoalNotEntailedKeepsTermination) {
+  // No Smoke fact: Alarm() is not entailed, the loop rule never fires,
+  // and the looped program terminates.
+  tgd::Program p = Parse(
+      "Dust(a).\n"
+      "Smoke(x) -> Fire(x).\n"
+      "Fire(x) -> Alarm().\n");
+  auto alarm = symbols_.FindPredicate("Alarm");
+  ASSERT_TRUE(alarm.ok());
+  auto looped = ApplyLoopingOperator(&symbols_, p.tgds, p.database,
+                                     *alarm);
+  ASSERT_TRUE(looped.ok());
+
+  chase::ChaseResult r =
+      chase::RunChase(&symbols_, looped->tgds, looped->database);
+  EXPECT_TRUE(r.Terminated());
+}
+
+TEST_F(LoopingTest, AgreesWithTheTypeOracleOnPae) {
+  // The reduction's correctness statement, cross-checked against the
+  // saturation-based PAE decider on a family of programs.
+  struct Case {
+    const char* program;
+    bool entailed;
+  };
+  const Case cases[] = {
+      {"Smoke(a). Smoke(x) -> Fire(x). Fire(x) -> Alarm().", true},
+      {"Dust(a). Smoke(x) -> Fire(x). Fire(x) -> Alarm().", false},
+      {"E(a, b). E(x, y) -> P(y, z). P(y, z) -> Alarm().", true},
+      {"E(a, a). E(x, y), P(y) -> Alarm(). Q(x) -> P(x).", false},
+  };
+  for (const Case& c : cases) {
+    core::SymbolTable symbols;
+    auto p = tgd::ParseProgram(&symbols, c.program);
+    ASSERT_TRUE(p.ok());
+    auto alarm = symbols.FindPredicate("Alarm");
+    if (!alarm.ok()) {
+      auto interned = symbols.InternPredicate("Alarm", 0);
+      ASSERT_TRUE(interned.ok());
+      alarm = *interned;
+    }
+
+    auto oracle = saturation::TypeOracle::Create(
+        symbols, p->tgds, saturation::TypeOracle::Options{});
+    ASSERT_TRUE(oracle.ok()) << c.program;
+    auto entailed = oracle->EntailsPropositional(p->database, *alarm);
+    ASSERT_TRUE(entailed.ok()) << entailed.status().ToString();
+    EXPECT_EQ(*entailed, c.entailed) << c.program;
+
+    auto looped =
+        ApplyLoopingOperator(&symbols, p->tgds, p->database, *alarm);
+    ASSERT_TRUE(looped.ok()) << c.program;
+    auto d = Decide(&symbols, looped->tgds, looped->database);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    EXPECT_EQ(d->decision == Decision::kDoesNotTerminate, c.entailed)
+        << c.program;
+  }
+}
+
+TEST_F(LoopingTest, RejectsNonPropositionalGoal) {
+  tgd::Program p = Parse("R(a, b). R(x, y) -> S(y).");
+  auto r = symbols_.FindPredicate("R");
+  ASSERT_TRUE(r.ok());
+  auto looped = ApplyLoopingOperator(&symbols_, p.tgds, p.database, *r);
+  EXPECT_FALSE(looped.ok());
+  EXPECT_EQ(looped.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(LoopingTest, RejectsClashingLoopPredicate) {
+  tgd::Program p = Parse("Smoke(a). Smoke(x) -> Alarm().");
+  auto alarm = symbols_.FindPredicate("Alarm");
+  ASSERT_TRUE(alarm.ok());
+  auto looped = ApplyLoopingOperator(&symbols_, p.tgds, p.database,
+                                     *alarm, "Smoke");
+  EXPECT_FALSE(looped.ok());
+}
+
+}  // namespace
+}  // namespace termination
+}  // namespace nuchase

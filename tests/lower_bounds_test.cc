@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "termination/syntactic_decider.h"
+#include "tgd/classify.h"
+#include "workload/lower_bounds.h"
+
+namespace nuchase {
+namespace workload {
+namespace {
+
+std::uint64_t CountPredicate(const core::SymbolTable& symbols,
+                             const core::Instance& instance,
+                             const std::string& name) {
+  auto pred = symbols.FindPredicate(name);
+  EXPECT_TRUE(pred.ok()) << name;
+  return instance.AtomsWithPredicate(*pred).size();
+}
+
+// --- Theorem 6.5 (SL): |chase| ≥ ℓ · m^{n·m}, met with equality on R_n. --
+
+struct SlParams {
+  std::uint64_t ell;
+  std::uint32_t n, m;
+};
+
+class SlLowerBoundTest : public ::testing::TestWithParam<SlParams> {};
+
+TEST_P(SlLowerBoundTest, MeetsTheBound) {
+  const SlParams& p = GetParam();
+  core::SymbolTable symbols;
+  Workload w = MakeSlLowerBound(&symbols, p.ell, p.n, p.m);
+  ASSERT_EQ(tgd::Classify(w.tgds), tgd::TgdClass::kSimpleLinear);
+  ASSERT_EQ(w.database.size(), p.ell);
+
+  chase::ChaseOptions options;
+  options.max_atoms = 5'000'000;
+  chase::ChaseResult result =
+      chase::RunChase(&symbols, w.tgds, w.database, options);
+  ASSERT_TRUE(result.Terminated()) << w.name;
+
+  double bound = SlLowerBoundValue(p.ell, p.n, p.m);
+  EXPECT_GE(static_cast<double>(result.instance.size()), bound) << w.name;
+  // The R_n relation alone realizes the bound exactly (Claim E.1).
+  std::string rn = "R" + std::to_string(p.n) + "_" +
+                   std::to_string(p.n) + "_" + std::to_string(p.m);
+  EXPECT_EQ(static_cast<double>(
+                CountPredicate(symbols, result.instance, rn)),
+            bound)
+      << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SlLowerBoundTest,
+    ::testing::Values(SlParams{1, 1, 2}, SlParams{1, 2, 2},
+                      SlParams{2, 1, 2}, SlParams{1, 1, 3},
+                      SlParams{3, 2, 2}, SlParams{1, 2, 3}),
+    [](const ::testing::TestParamInfo<SlParams>& info) {
+      return "ell" + std::to_string(info.param.ell) + "_n" +
+             std::to_string(info.param.n) + "_m" +
+             std::to_string(info.param.m);
+    });
+
+TEST(SlLowerBoundTest, SyntacticDeciderAgrees) {
+  core::SymbolTable symbols;
+  Workload w = MakeSlLowerBound(&symbols, 2, 2, 2);
+  auto d = termination::DecideSimpleLinear(&symbols, w.tgds, w.database);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->decision, termination::Decision::kTerminates);
+}
+
+// --- Theorem 7.6 (L): |chase| ≥ ℓ · 2^{n·(2^m−1)}. ---------------------
+
+struct LParams {
+  std::uint64_t ell;
+  std::uint32_t n, m;
+};
+
+class LinearLowerBoundTest : public ::testing::TestWithParam<LParams> {};
+
+TEST_P(LinearLowerBoundTest, MeetsTheBound) {
+  const LParams& p = GetParam();
+  core::SymbolTable symbols;
+  Workload w = MakeLinearLowerBound(&symbols, p.ell, p.n, p.m);
+  ASSERT_EQ(tgd::Classify(w.tgds), tgd::TgdClass::kLinear);
+
+  chase::ChaseOptions options;
+  options.max_atoms = 5'000'000;
+  chase::ChaseResult result =
+      chase::RunChase(&symbols, w.tgds, w.database, options);
+  ASSERT_TRUE(result.Terminated()) << w.name;
+
+  double bound = LinearLowerBoundValue(p.ell, p.n, p.m);
+  std::string rn = "R" + std::to_string(p.n) + "_" +
+                   std::to_string(p.n) + "_" + std::to_string(p.m);
+  EXPECT_GE(static_cast<double>(
+                CountPredicate(symbols, result.instance, rn)),
+            bound)
+      << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LinearLowerBoundTest,
+    ::testing::Values(LParams{1, 1, 1}, LParams{1, 1, 2},
+                      LParams{1, 2, 2}, LParams{2, 1, 3},
+                      LParams{1, 2, 3}),
+    [](const ::testing::TestParamInfo<LParams>& info) {
+      return "ell" + std::to_string(info.param.ell) + "_n" +
+             std::to_string(info.param.n) + "_m" +
+             std::to_string(info.param.m);
+    });
+
+TEST(LinearLowerBoundTest, LinearDeciderAgrees) {
+  core::SymbolTable symbols;
+  Workload w = MakeLinearLowerBound(&symbols, 1, 2, 2);
+  auto d = termination::DecideLinear(&symbols, w.tgds, w.database);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->decision, termination::Decision::kTerminates);
+}
+
+// --- Theorem 8.4 (G): |chase| ≥ ℓ · 2^{2^n·(2^{2^m}−1)}. ----------------
+
+struct GParams {
+  std::uint64_t ell;
+  std::uint32_t n, m;
+};
+
+class GuardedLowerBoundTest : public ::testing::TestWithParam<GParams> {};
+
+TEST_P(GuardedLowerBoundTest, MeetsTheBound) {
+  const GParams& p = GetParam();
+  core::SymbolTable symbols;
+  Workload w = MakeGuardedLowerBound(&symbols, p.ell, p.n, p.m);
+  ASSERT_EQ(tgd::Classify(w.tgds), tgd::TgdClass::kGuarded);
+
+  chase::ChaseOptions options;
+  options.max_atoms = 5'000'000;
+  chase::ChaseResult result =
+      chase::RunChase(&symbols, w.tgds, w.database, options);
+  ASSERT_TRUE(result.Terminated()) << w.name;
+
+  double bound = GuardedLowerBoundValue(p.ell, p.n, p.m);
+  std::string node = "Node_" + std::to_string(p.n) + "_" +
+                     std::to_string(p.m);
+  EXPECT_GE(static_cast<double>(
+                CountPredicate(symbols, result.instance, node)),
+            bound)
+      << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GuardedLowerBoundTest,
+    ::testing::Values(GParams{1, 1, 1}, GParams{2, 1, 1}),
+    [](const ::testing::TestParamInfo<GParams>& info) {
+      return "ell" + std::to_string(info.param.ell) + "_n" +
+             std::to_string(info.param.n) + "_m" +
+             std::to_string(info.param.m);
+    });
+
+TEST(LowerBoundValuesTest, ClosedForms) {
+  EXPECT_EQ(SlLowerBoundValue(1, 1, 2), 4);       // m^{n·m} = 2^2
+  EXPECT_EQ(SlLowerBoundValue(3, 2, 2), 3 * 16);  // 3 · 2^4
+  EXPECT_EQ(LinearLowerBoundValue(1, 1, 1), 2);   // 2^{1·(2−1)}
+  EXPECT_EQ(LinearLowerBoundValue(1, 2, 2), 64);  // 2^{2·3}
+  EXPECT_EQ(GuardedLowerBoundValue(1, 1, 1), 64);  // 2^{2·(2^2−1)}
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace nuchase

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "tgd/parser.h"
+#include "tgd/printer.h"
+
+namespace nuchase {
+namespace tgd {
+namespace {
+
+TEST(ParserTest, FactsAndRulesAreSeparated) {
+  core::SymbolTable symbols;
+  auto program = ParseProgram(&symbols,
+                              "% a comment\n"
+                              "R(a, b).\n"
+                              "# another comment\n"
+                              "R(x, y) -> R(y, z).\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->database.size(), 1u);
+  EXPECT_EQ(program->tgds.size(), 1u);
+}
+
+TEST(ParserTest, FactIdentifiersAreConstants) {
+  core::SymbolTable symbols;
+  auto program = ParseProgram(&symbols, "R(a, b).");
+  ASSERT_TRUE(program.ok());
+  const core::Atom& fact = program->database.facts()[0];
+  EXPECT_TRUE(fact.args[0].IsConstant());
+}
+
+TEST(ParserTest, RuleIdentifiersAreVariables) {
+  core::SymbolTable symbols;
+  auto program = ParseProgram(&symbols, "R(a, b) -> R(b, c).");
+  ASSERT_TRUE(program.ok());
+  // In a rule, "a" and "b" are variables despite their lowercase names.
+  const tgd::Tgd& rule = program->tgds.tgd(0);
+  EXPECT_TRUE(rule.body()[0].args[0].IsVariable());
+  EXPECT_EQ(rule.existential().size(), 1u);  // c
+}
+
+TEST(ParserTest, MultiAtomBodiesAndHeads) {
+  core::SymbolTable symbols;
+  auto rule = ParseTgd(&symbols, "R(x, y), P(x, z, v) -> P(y, w, z)");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->body().size(), 2u);
+  EXPECT_EQ(rule->head().size(), 1u);
+  EXPECT_EQ(rule->existential().size(), 1u);  // w
+}
+
+TEST(ParserTest, ZeroAryAtoms) {
+  core::SymbolTable symbols;
+  auto program = ParseProgram(&symbols,
+                              "Go().\n"
+                              "R(x) -> Done().\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->database.facts()[0].arity(), 0u);
+  EXPECT_EQ(program->tgds.tgd(0).head()[0].arity(), 0u);
+}
+
+TEST(ParserTest, BracketedPredicateNames) {
+  core::SymbolTable symbols;
+  auto program = ParseProgram(&symbols, "R[1,2,1](a, b).");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(
+      symbols.predicate_name(program->database.facts()[0].predicate),
+      "R[1,2,1]");
+}
+
+TEST(ParserTest, ArityMismatchIsAnError) {
+  core::SymbolTable symbols;
+  auto program = ParseProgram(&symbols, "R(a, b). R(a).");
+  EXPECT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, SyntaxErrorsCarryLineNumbers) {
+  core::SymbolTable symbols;
+  auto program = ParseProgram(&symbols, "R(a, b).\nR(a, -> .\n");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, MissingDotIsAnError) {
+  core::SymbolTable symbols;
+  EXPECT_FALSE(ParseProgram(&symbols, "R(a, b)").ok());
+}
+
+TEST(ParserTest, UnexpectedCharacterIsAnError) {
+  core::SymbolTable symbols;
+  EXPECT_FALSE(ParseProgram(&symbols, "R(a; b).").ok());
+}
+
+TEST(ParserTest, ParseTgdAcceptsMissingDot) {
+  core::SymbolTable symbols;
+  EXPECT_TRUE(ParseTgd(&symbols, "R(x) -> S(x)").ok());
+  EXPECT_TRUE(ParseTgd(&symbols, "R(x) -> S(x) .").ok());
+}
+
+TEST(ParserTest, ParseTgdRejectsPrograms) {
+  core::SymbolTable symbols;
+  EXPECT_FALSE(ParseTgd(&symbols, "R(x) -> S(x). S(x) -> T(x).").ok());
+}
+
+TEST(ParserTest, ParseTgdSetRejectsFacts) {
+  core::SymbolTable symbols;
+  EXPECT_FALSE(ParseTgdSet(&symbols, "R(a).").ok());
+  EXPECT_TRUE(ParseDatabase(&symbols, "R(a).").ok());
+  EXPECT_FALSE(ParseDatabase(&symbols, "R(x) -> S(x).").ok());
+}
+
+TEST(PrinterTest, ProgramRoundTrip) {
+  core::SymbolTable symbols;
+  const std::string text =
+      "R(a, b).\n"
+      "S(b).\n"
+      "R(x, y) -> R(y, z).\n"
+      "R(x, y), S(x) -> T(x, y).\n";
+  auto program = ParseProgram(&symbols, text);
+  ASSERT_TRUE(program.ok());
+  std::string printed =
+      ProgramToString(program->tgds, program->database, symbols);
+  auto reparsed = ParseProgram(&symbols, printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->database.ToSortedString(symbols),
+            program->database.ToSortedString(symbols));
+  EXPECT_EQ(reparsed->tgds.ToString(symbols),
+            program->tgds.ToString(symbols));
+}
+
+}  // namespace
+}  // namespace tgd
+}  // namespace nuchase

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "query/evaluator.h"
+#include "query/ucq.h"
+#include "tgd/parser.h"
+
+namespace nuchase {
+namespace query {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = tgd::ParseProgram(&symbols_,
+                                     "E(a, b).\n"
+                                     "E(b, c).\n"
+                                     "E(c, a).\n"
+                                     "Color(a, red).\n"
+                                     "Color(b, blue).\n"
+                                     "Loop(d, d).\n");
+    ASSERT_TRUE(program.ok());
+    instance_ = program->database.ToInstance();
+    db_ = program->database;
+  }
+
+  core::Atom MakeAtom(const std::string& pred,
+                      const std::vector<std::string>& vars) {
+    auto p = symbols_.FindPredicate(pred);
+    EXPECT_TRUE(p.ok());
+    std::vector<core::Term> args;
+    for (const std::string& v : vars) {
+      args.push_back(symbols_.InternVariable(v));
+    }
+    return core::Atom(*p, std::move(args));
+  }
+
+  core::SymbolTable symbols_;
+  core::Instance instance_;
+  core::Database db_;
+};
+
+TEST_F(QueryTest, SingleAtomCq) {
+  ConjunctiveQuery cq{{MakeAtom("E", {"x", "y"})}};
+  EXPECT_TRUE(Satisfies(instance_, cq));
+}
+
+TEST_F(QueryTest, JoinCq) {
+  // A path of length 3 exists (a→b→c→a).
+  ConjunctiveQuery cq{{MakeAtom("E", {"x", "y"}), MakeAtom("E", {"y", "z"}),
+                       MakeAtom("E", {"z", "w"})}};
+  EXPECT_TRUE(Satisfies(instance_, cq));
+}
+
+TEST_F(QueryTest, RepeatedVariablesEncodeEquality) {
+  // Loop(x, x) only matches Loop(d, d); E(x, x) matches nothing.
+  ConjunctiveQuery loop{{MakeAtom("Loop", {"x", "x"})}};
+  EXPECT_TRUE(Satisfies(instance_, loop));
+  ConjunctiveQuery self_edge{{MakeAtom("E", {"x", "x"})}};
+  EXPECT_FALSE(Satisfies(instance_, self_edge));
+}
+
+TEST_F(QueryTest, ConstantsMustMatchExactly) {
+  auto color = symbols_.FindPredicate("Color");
+  ASSERT_TRUE(color.ok());
+  core::Term red = symbols_.InternConstant("red");
+  core::Term x = symbols_.InternVariable("x");
+  ConjunctiveQuery cq{{core::Atom(*color, {x, red})}};
+  EXPECT_TRUE(Satisfies(instance_, cq));
+  core::Term green = symbols_.InternConstant("green");
+  ConjunctiveQuery none{{core::Atom(*color, {x, green})}};
+  EXPECT_FALSE(Satisfies(instance_, none));
+}
+
+TEST_F(QueryTest, UcqIsDisjunction) {
+  UnionOfConjunctiveQueries ucq;
+  ucq.disjuncts.push_back({{MakeAtom("E", {"x", "x"})}});  // false
+  EXPECT_FALSE(Satisfies(instance_, ucq));
+  ucq.disjuncts.push_back({{MakeAtom("Loop", {"y", "y"})}});  // true
+  EXPECT_TRUE(Satisfies(instance_, ucq));
+  EXPECT_TRUE(Satisfies(db_, ucq));
+}
+
+TEST_F(QueryTest, EmptyUcqIsFalse) {
+  EXPECT_FALSE(Satisfies(instance_, UnionOfConjunctiveQueries{}));
+}
+
+TEST_F(QueryTest, TgdSatisfaction) {
+  // Every E edge has a color on its source? Only a and b are colored; c
+  // is a source (E(c,a)), so the TGD is violated.
+  auto violated = tgd::ParseTgd(&symbols_,
+                                "E(x, y) -> Color(x, c)");
+  ASSERT_TRUE(violated.ok());
+  EXPECT_FALSE(Satisfies(instance_, *violated));
+
+  // Every colored node has an outgoing edge: true (a and b do).
+  auto holds = tgd::ParseTgd(&symbols_, "Color(x, u) -> E(x, y)");
+  ASSERT_TRUE(holds.ok());
+  EXPECT_TRUE(Satisfies(instance_, *holds));
+}
+
+TEST_F(QueryTest, TgdSatisfactionUsesFrontierOnly) {
+  // σ: E(x,y) → ∃z E(y,z). In the 3-cycle every node has an outgoing
+  // edge, so the instance is a model even though no nulls exist.
+  auto rule = tgd::ParseTgd(&symbols_, "E(x, y) -> E(y, z)");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(Satisfies(instance_, *rule));
+}
+
+TEST_F(QueryTest, ChaseResultSatisfiesItsTgds) {
+  auto program = tgd::ParseProgram(&symbols_,
+                                   "Start(s).\n"
+                                   "Start(x) -> Next(x, y).\n"
+                                   "Next(x, y) -> Mark(y).\n");
+  ASSERT_TRUE(program.ok());
+  chase::ChaseResult result =
+      chase::RunChase(&symbols_, program->tgds, program->database);
+  ASSERT_TRUE(result.Terminated());
+  EXPECT_TRUE(Satisfies(result.instance, program->tgds));
+}
+
+TEST_F(QueryTest, ToStringRenders) {
+  ConjunctiveQuery cq{{MakeAtom("E", {"x", "y"})}};
+  EXPECT_NE(cq.ToString(symbols_).find("E(x, y)"), std::string::npos);
+  UnionOfConjunctiveQueries ucq{{cq}};
+  EXPECT_NE(ucq.ToString(symbols_).find("Ans()"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace nuchase

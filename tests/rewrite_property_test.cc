@@ -1,0 +1,128 @@
+// Property tests for the paper's two preservation results:
+//   Proposition 7.3: Σ ∈ CT_D  iff  simple(Σ) ∈ CT_simple(D), and
+//                    maxdepth(D,Σ) = maxdepth(simple(D), simple(Σ));
+//   Proposition 8.1: the same for lin(·) on guarded sets.
+// Each is checked on seeded random workloads via bounded chases: when
+// both sides terminate, finiteness AND maxdepth must agree; when one
+// side exceeds the budget, the other must as well (we use a generous
+// budget asymmetry to avoid flakes near the boundary).
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "rewrite/linearize.h"
+#include "rewrite/simplify.h"
+#include "tgd/classify.h"
+#include "workload/random_tgds.h"
+
+namespace nuchase {
+namespace rewrite {
+namespace {
+
+struct ChasePair {
+  chase::ChaseResult original;
+  chase::ChaseResult rewritten;
+};
+
+class SimplifyPropertyTest : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(SimplifyPropertyTest, Proposition73OnRandomLinearWorkloads) {
+  core::SymbolTable symbols;
+  workload::RandomTgdOptions options;
+  options.seed = GetParam();
+  options.target = tgd::TgdClass::kLinear;
+  workload::Workload w = workload::MakeRandomWorkload(&symbols, options);
+
+  Simplifier simplifier(&symbols);
+  auto simple_tgds = simplifier.SimplifyTgds(w.tgds);
+  ASSERT_TRUE(simple_tgds.ok()) << simple_tgds.status().ToString();
+  core::Database simple_db = simplifier.SimplifyDatabase(w.database);
+
+  chase::ChaseOptions copt;
+  copt.max_atoms = 60000;
+  chase::ChaseResult original =
+      chase::RunChase(&symbols, w.tgds, w.database, copt);
+  chase::ChaseResult simplified =
+      chase::RunChase(&symbols, *simple_tgds, simple_db, copt);
+
+  EXPECT_EQ(original.Terminated(), simplified.Terminated()) << w.name;
+  if (original.Terminated() && simplified.Terminated()) {
+    EXPECT_EQ(original.stats.max_depth, simplified.stats.max_depth)
+        << w.name;
+    // |simple(D)| = |D| (simplification renames facts one-to-one).
+    EXPECT_EQ(simple_db.size(), w.database.size()) << w.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyPropertyTest,
+                         ::testing::Range(1u, 25u));
+
+class LinearizePropertyTest
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LinearizePropertyTest, Proposition81OnRandomGuardedWorkloads) {
+  core::SymbolTable symbols;
+  workload::RandomTgdOptions options;
+  options.seed = GetParam();
+  options.target = tgd::TgdClass::kGuarded;
+  workload::Workload w = workload::MakeRandomWorkload(&symbols, options);
+
+  LinearizeOptions lopt;
+  auto lin = Linearize(w.database, w.tgds, &symbols, lopt);
+  ASSERT_TRUE(lin.ok()) << lin.status().ToString();
+
+  chase::ChaseOptions copt;
+  copt.max_atoms = 60000;
+  chase::ChaseResult original =
+      chase::RunChase(&symbols, w.tgds, w.database, copt);
+  chase::ChaseResult linearized =
+      chase::RunChase(&symbols, lin->tgds, lin->database, copt);
+
+  EXPECT_EQ(original.Terminated(), linearized.Terminated()) << w.name;
+  if (original.Terminated() && linearized.Terminated()) {
+    EXPECT_EQ(original.stats.max_depth, linearized.stats.max_depth)
+        << w.name;
+    // |lin(D)| = |D| (one [τ]-fact per original fact).
+    EXPECT_EQ(lin->database.size(), w.database.size()) << w.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearizePropertyTest,
+                         ::testing::Range(1u, 25u));
+
+class GSimplePropertyTest : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(GSimplePropertyTest, ComposedRewritingPreservesFiniteness) {
+  // gsimple = simple ∘ lin: composing Propositions 7.3 and 8.1. This is
+  // precisely what Theorem 8.3's decider relies on.
+  core::SymbolTable symbols;
+  workload::RandomTgdOptions options;
+  options.seed = GetParam();
+  options.target = tgd::TgdClass::kGuarded;
+  workload::Workload w = workload::MakeRandomWorkload(&symbols, options);
+
+  LinearizeOptions lopt;
+  auto gs = GSimplify(w.database, w.tgds, &symbols, lopt);
+  ASSERT_TRUE(gs.ok()) << gs.status().ToString();
+
+  chase::ChaseOptions copt;
+  copt.max_atoms = 60000;
+  chase::ChaseResult original =
+      chase::RunChase(&symbols, w.tgds, w.database, copt);
+  chase::ChaseResult rewritten =
+      chase::RunChase(&symbols, gs->tgds, gs->database, copt);
+
+  EXPECT_EQ(original.Terminated(), rewritten.Terminated()) << w.name;
+  if (original.Terminated()) {
+    EXPECT_EQ(original.stats.max_depth, rewritten.stats.max_depth)
+        << w.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GSimplePropertyTest,
+                         ::testing::Range(1u, 25u));
+
+}  // namespace
+}  // namespace rewrite
+}  // namespace nuchase

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "tgd/classify.h"
+#include "tgd/parser.h"
+#include "tgd/tgd.h"
+
+namespace nuchase {
+namespace tgd {
+namespace {
+
+class TgdTest : public ::testing::Test {
+ protected:
+  Tgd Parse(const std::string& text) {
+    auto rule = ParseTgd(&symbols_, text);
+    EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+    return *rule;
+  }
+  core::SymbolTable symbols_;
+};
+
+TEST_F(TgdTest, FrontierAndExistentials) {
+  Tgd rule = Parse("R(x, y) -> S(y, z)");
+  EXPECT_EQ(rule.frontier().size(), 1u);  // y
+  EXPECT_EQ(rule.existential().size(), 1u);  // z
+  EXPECT_EQ(rule.body_variables().size(), 2u);
+  EXPECT_TRUE(rule.IsFrontier(symbols_.InternVariable("y")));
+  EXPECT_FALSE(rule.IsFrontier(symbols_.InternVariable("x")));
+  EXPECT_TRUE(rule.IsExistential(symbols_.InternVariable("z")));
+}
+
+TEST_F(TgdTest, FullRuleNoExistentials) {
+  Tgd rule = Parse("R(x, y) -> P(x, y)");
+  EXPECT_TRUE(rule.existential().empty());
+  EXPECT_EQ(rule.frontier().size(), 2u);
+}
+
+TEST_F(TgdTest, GuardDetection) {
+  Tgd guarded = Parse("R(x, y, z), S(x, y) -> T(z, w)");
+  EXPECT_TRUE(guarded.IsGuarded());
+  EXPECT_EQ(guarded.guard_index(), 0);
+
+  Tgd leftmost = Parse("S2(x, y), R2(x, y, z), T2(x, y, z) -> P2(x)");
+  EXPECT_TRUE(leftmost.IsGuarded());
+  EXPECT_EQ(leftmost.guard_index(), 1);  // leftmost atom with all vars
+
+  Tgd unguarded = Parse("R3(x, y), S3(y, z) -> T3(x, z)");
+  EXPECT_FALSE(unguarded.IsGuarded());
+}
+
+TEST_F(TgdTest, LinearityAndSimplicity) {
+  EXPECT_TRUE(Parse("R(x, y) -> S(y, z)").IsSimpleLinear());
+  EXPECT_FALSE(Parse("R(x, x) -> S(x, z)").IsSimpleLinear());
+  EXPECT_TRUE(Parse("R(x, x) -> S(x, z)").IsLinear());
+  EXPECT_FALSE(Parse("R(x, y), S(x, y) -> T(x)").IsLinear());
+}
+
+TEST_F(TgdTest, CreateRejectsEmptyParts) {
+  auto r = symbols_.InternPredicate("R", 1);
+  core::Term x = symbols_.InternVariable("x");
+  EXPECT_FALSE(Tgd::Create({}, {core::Atom(*r, {x})}).ok());
+  EXPECT_FALSE(Tgd::Create({core::Atom(*r, {x})}, {}).ok());
+}
+
+TEST_F(TgdTest, CreateRejectsConstants) {
+  auto r = symbols_.InternPredicate("R", 1);
+  core::Term a = symbols_.InternConstant("a");
+  core::Term x = symbols_.InternVariable("x");
+  auto bad = Tgd::Create({core::Atom(*r, {a})}, {core::Atom(*r, {x})});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(TgdTest, ToStringRoundTripsThroughParser) {
+  Tgd rule = Parse("R(x, y), S(x, y) -> T(y, z), R(z, z)");
+  std::string printed = rule.ToString(symbols_);
+  auto reparsed = ParseTgd(&symbols_, printed);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(symbols_), printed);
+}
+
+TEST_F(TgdTest, ClassifySingleRules) {
+  EXPECT_EQ(Classify(Parse("R(x, y) -> S(y, z)")),
+            TgdClass::kSimpleLinear);
+  EXPECT_EQ(Classify(Parse("R(x, x) -> S(x, z)")), TgdClass::kLinear);
+  EXPECT_EQ(Classify(Parse("R(x, y), S1(x) -> T1(y)")),
+            TgdClass::kGuarded);
+  EXPECT_EQ(Classify(Parse("R(x, y), S(y, z) -> T2(x, z)")),
+            TgdClass::kGeneral);
+}
+
+TEST_F(TgdTest, ClassifySetTakesMaximum) {
+  auto tgds = ParseTgdSet(&symbols_,
+                          "R(x, y) -> S(y, z).\n"
+                          "R(x, x) -> S(x, z).\n");
+  ASSERT_TRUE(tgds.ok());
+  EXPECT_EQ(Classify(*tgds), TgdClass::kLinear);
+  EXPECT_TRUE(ClassContainedIn(TgdClass::kSimpleLinear, TgdClass::kLinear));
+  EXPECT_FALSE(ClassContainedIn(TgdClass::kGuarded, TgdClass::kLinear));
+  EXPECT_STREQ(TgdClassName(TgdClass::kGuarded), "G");
+}
+
+TEST_F(TgdTest, SchemaQuantities) {
+  auto tgds = ParseTgdSet(&symbols_,
+                          "R(x, y) -> S(y, z).\n"
+                          "S(x, y) -> T(x, y, y).\n");
+  ASSERT_TRUE(tgds.ok());
+  EXPECT_EQ(tgds->SchemaPredicates().size(), 3u);  // R, S, T
+  EXPECT_EQ(tgds->MaxArity(symbols_), 3u);
+  EXPECT_EQ(tgds->NumAtoms(), 4u);
+  // ||Σ|| = |atoms| · |sch| · ar = 4 · 3 · 3.
+  EXPECT_EQ(tgds->Norm(symbols_), 36u);
+}
+
+TEST_F(TgdTest, EmptySetQuantities) {
+  TgdSet empty;
+  EXPECT_EQ(Classify(empty), TgdClass::kSimpleLinear);
+  EXPECT_EQ(empty.MaxArity(symbols_), 0u);
+  EXPECT_EQ(empty.Norm(symbols_), 0u);
+}
+
+}  // namespace
+}  // namespace tgd
+}  // namespace nuchase

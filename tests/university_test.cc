@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chase/chase.h"
+#include "query/evaluator.h"
+#include "termination/syntactic_decider.h"
+#include "tgd/classify.h"
+#include "workload/university.h"
+
+namespace nuchase {
+namespace workload {
+namespace {
+
+TEST(UniversityTest, OntologyIsGuarded) {
+  core::SymbolTable symbols;
+  Workload w = MakeUniversityWorkload(&symbols);
+  EXPECT_TRUE(tgd::ClassContainedIn(tgd::Classify(w.tgds),
+                                    tgd::TgdClass::kGuarded));
+}
+
+TEST(UniversityTest, ChaseTerminatesAndIsAModel) {
+  core::SymbolTable symbols;
+  Workload w = MakeUniversityWorkload(&symbols);
+  chase::ChaseResult r = chase::RunChase(&symbols, w.tgds, w.database);
+  ASSERT_TRUE(r.Terminated());
+  EXPECT_TRUE(query::Satisfies(r.instance, w.tgds));
+  EXPECT_GT(r.instance.size(), w.database.size());
+}
+
+TEST(UniversityTest, EveryStudentGetsAnAdvisor) {
+  core::SymbolTable symbols;
+  UniversityOptions options;
+  options.departments = 2;
+  options.students_per_department = 10;
+  Workload w = MakeUniversityWorkload(&symbols, options);
+  chase::ChaseResult r = chase::RunChase(&symbols, w.tgds, w.database);
+  ASSERT_TRUE(r.Terminated());
+
+  auto student = symbols.FindPredicate("Student");
+  auto has_advisor = symbols.FindPredicate("HasAdvisor");
+  ASSERT_TRUE(student.ok());
+  ASSERT_TRUE(has_advisor.ok());
+  std::set<core::Term> students;
+  for (core::AtomIndex i : r.instance.AtomsWithPredicate(*student)) {
+    students.insert(r.instance.atom(i).args[0]);
+  }
+  std::set<core::Term> advised;
+  for (core::AtomIndex i : r.instance.AtomsWithPredicate(*has_advisor)) {
+    advised.insert(r.instance.atom(i).args[0]);
+  }
+  EXPECT_FALSE(students.empty());
+  for (core::Term s : students) {
+    EXPECT_TRUE(advised.count(s));
+  }
+}
+
+TEST(UniversityTest, SyntacticDeciderAccepts) {
+  core::SymbolTable symbols;
+  Workload w = MakeUniversityWorkload(&symbols);
+  auto d = termination::Decide(&symbols, w.tgds, w.database);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->decision, termination::Decision::kTerminates);
+}
+
+TEST(UniversityTest, ReviewRuleIsHarmlessWithoutSeeds) {
+  core::SymbolTable symbols;
+  UniversityOptions options;
+  options.include_review_rule = true;
+  options.under_review = 0;
+  Workload w = MakeUniversityWorkload(&symbols, options);
+  auto d = termination::Decide(&symbols, w.tgds, w.database);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->decision, termination::Decision::kTerminates);
+}
+
+TEST(UniversityTest, ReviewSeedBreaksTermination) {
+  core::SymbolTable symbols;
+  UniversityOptions options;
+  options.include_review_rule = true;
+  options.under_review = 1;
+  Workload w = MakeUniversityWorkload(&symbols, options);
+  auto d = termination::Decide(&symbols, w.tgds, w.database);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->decision, termination::Decision::kDoesNotTerminate);
+
+  chase::ChaseOptions copt;
+  copt.max_atoms = 20000;
+  chase::ChaseResult r =
+      chase::RunChase(&symbols, w.tgds, w.database, copt);
+  EXPECT_FALSE(r.Terminated());
+}
+
+TEST(UniversityTest, DeterministicInTheSeed) {
+  core::SymbolTable s1, s2;
+  UniversityOptions options;
+  options.seed = 7;
+  Workload a = MakeUniversityWorkload(&s1, options);
+  Workload b = MakeUniversityWorkload(&s2, options);
+  EXPECT_EQ(a.database.ToSortedString(s1), b.database.ToSortedString(s2));
+
+  core::SymbolTable s3;
+  options.seed = 8;
+  Workload c = MakeUniversityWorkload(&s3, options);
+  EXPECT_NE(a.database.ToSortedString(s1), c.database.ToSortedString(s3));
+}
+
+TEST(UniversityTest, ScalesLinearly) {
+  // The headline result on realistic data: doubling the student body
+  // roughly doubles the materialization.
+  std::size_t sizes[2];
+  for (int i = 0; i < 2; ++i) {
+    core::SymbolTable symbols;
+    UniversityOptions options;
+    options.students_per_department = i == 0 ? 20 : 40;
+    Workload w = MakeUniversityWorkload(&symbols, options);
+    chase::ChaseResult r = chase::RunChase(&symbols, w.tgds, w.database);
+    ASSERT_TRUE(r.Terminated());
+    sizes[i] = r.instance.size();
+  }
+  EXPECT_GT(sizes[1], sizes[0]);
+  EXPECT_LT(sizes[1], sizes[0] * 3);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace nuchase

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace nuchase {
+namespace util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad rule");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad rule");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad rule");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(HashTest, CombineChangesSeed) {
+  std::size_t seed = 0;
+  HashCombine(&seed, 123);
+  EXPECT_NE(seed, 0u);
+}
+
+TEST(HashTest, VectorHashDistinguishesOrder) {
+  VectorHash<std::uint32_t> h;
+  EXPECT_NE(h({1, 2}), h({2, 1}));
+  EXPECT_EQ(h({1, 2}), h({1, 2}));
+}
+
+TEST(HashTest, VectorHashDistinguishesLength) {
+  VectorHash<std::uint32_t> h;
+  EXPECT_NE(h({}), h({0}));
+  EXPECT_NE(h({0}), h({0, 0}));
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t("demo", {"name", "count"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "100"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("100"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, FormatCountSmallAndHuge) {
+  EXPECT_EQ(FormatCount(42), "42");
+  EXPECT_EQ(FormatCount(1000000), "1000000");
+  EXPECT_EQ(FormatCount(1e12).substr(0, 1), "~");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace nuchase

@@ -1,0 +1,324 @@
+// nuchase — command-line front end to the library.
+//
+//   nuchase classify  FILE      class, schema quantities, paper bounds
+//   nuchase decide    FILE      ChTrm(D, Σ): terminates / does not
+//   nuchase chase     FILE      run the chase, print stats (and atoms)
+//   nuchase rewrite   FILE      print simple(Σ) / lin(Σ) / gsimple(Σ)
+//   nuchase explain   FILE      weak-acyclicity analysis with witnesses
+//
+// FILE holds a program in the rule language of tgd::ParseProgram
+// ("R(a, b).  R(x, y) -> S(y, z)."); "-" reads stdin. Options are
+// documented under --help.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "graph/weak_acyclicity.h"
+#include "rewrite/linearize.h"
+#include "rewrite/simplify.h"
+#include "termination/advisor.h"
+#include "termination/bounds.h"
+#include "termination/naive_decider.h"
+#include "termination/syntactic_decider.h"
+#include "termination/ucq_decider.h"
+#include "tgd/classify.h"
+#include "tgd/parser.h"
+#include "tgd/printer.h"
+
+namespace nuchase {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <command> [options] <file|->\n"
+               "\n"
+               "commands:\n"
+               "  classify   class (SL/L/G/TGD), |sch|, ar, ||Sigma||, "
+               "d_C, f_C\n"
+               "  decide     non-uniform chase termination for (D, Sigma)\n"
+               "  chase      materialize the chase and print statistics\n"
+               "  rewrite    print a rewriting of the program\n"
+               "  explain    weak-acyclicity analysis with witnesses\n"
+               "\n"
+               "options:\n"
+               "  --variant=semi-oblivious|oblivious|restricted  (chase)\n"
+               "  --max-atoms=N     chase atom budget (default 1000000)\n"
+               "  --print           also print the materialized atoms\n"
+               "  --ucq             decide via the data-complexity UCQ\n"
+               "  --naive           decide via the bounded chase\n"
+               "  --mode=simplify|linearize|gsimple   (rewrite)\n",
+               argv0);
+  return 2;
+}
+
+struct Options {
+  std::string command;
+  std::string file;
+  chase::ChaseVariant variant = chase::ChaseVariant::kSemiOblivious;
+  std::uint64_t max_atoms = 1'000'000;
+  bool print_atoms = false;
+  bool use_ucq = false;
+  bool use_naive = false;
+  std::string mode = "simplify";
+};
+
+bool ParseArgs(int argc, char** argv, Options* out) {
+  if (argc < 3) return false;
+  out->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--print") {
+      out->print_atoms = true;
+    } else if (arg == "--ucq") {
+      out->use_ucq = true;
+    } else if (arg == "--naive") {
+      out->use_naive = true;
+    } else if (arg.rfind("--variant=", 0) == 0) {
+      std::string v = arg.substr(10);
+      if (v == "semi-oblivious") {
+        out->variant = chase::ChaseVariant::kSemiOblivious;
+      } else if (v == "oblivious") {
+        out->variant = chase::ChaseVariant::kOblivious;
+      } else if (v == "restricted") {
+        out->variant = chase::ChaseVariant::kRestricted;
+      } else {
+        std::fprintf(stderr, "unknown variant '%s'\n", v.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--max-atoms=", 0) == 0) {
+      out->max_atoms = std::strtoull(arg.c_str() + 12, nullptr, 10);
+    } else if (arg.rfind("--mode=", 0) == 0) {
+      out->mode = arg.substr(7);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    } else {
+      out->file = arg;
+    }
+  }
+  return !out->file.empty();
+}
+
+bool ReadProgramText(const std::string& file, std::string* text) {
+  if (file == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    *text = ss.str();
+    return true;
+  }
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *text = ss.str();
+  return true;
+}
+
+int Classify(core::SymbolTable* symbols, const tgd::Program& p) {
+  tgd::TgdClass clazz = tgd::Classify(p.tgds);
+  std::printf("class:        %s\n", tgd::TgdClassName(clazz));
+  std::printf("|Sigma|:      %zu TGDs\n", p.tgds.size());
+  std::printf("|sch(Sigma)|: %zu predicates\n",
+              p.tgds.SchemaPredicates().size());
+  std::printf("ar(Sigma):    %u\n", p.tgds.MaxArity(*symbols));
+  std::printf("||Sigma||:    %llu\n",
+              static_cast<unsigned long long>(p.tgds.Norm(*symbols)));
+  std::printf("|D|:          %zu facts\n", p.database.size());
+  if (clazz != tgd::TgdClass::kGeneral) {
+    std::printf("d_C(Sigma):   %.6g   (depth bound, Section 5)\n",
+                termination::DepthBound(clazz, p.tgds, *symbols));
+    std::printf("f_C(Sigma):   %.6g   (|chase| <= |D| * f_C)\n",
+                termination::SizeFactor(clazz, p.tgds, *symbols));
+  } else {
+    std::printf("d_C/f_C:      n/a (not guarded; ChTrm undecidable, "
+                "Prop 4.2)\n");
+  }
+  return 0;
+}
+
+int Decide(core::SymbolTable* symbols, const tgd::Program& p,
+           const Options& options) {
+  if (options.use_ucq) {
+    auto d = termination::DecideByUcq(symbols, p.tgds, p.database);
+    if (!d.ok()) {
+      std::fprintf(stderr, "ucq decider: %s\n",
+                   d.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s (via UCQ Q_Sigma, Theorems 6.6 / 7.7)\n",
+                termination::DecisionName(*d));
+    return *d == termination::Decision::kTerminates ? 0 : 1;
+  }
+  if (options.use_naive) {
+    termination::NaiveDecision d = termination::DecideByChase(
+        symbols, p.tgds, p.database, options.max_atoms);
+    std::printf("%s (via bounded chase: %llu atoms, maxdepth %u)\n",
+                termination::DecisionName(d.decision),
+                static_cast<unsigned long long>(d.atoms), d.max_depth);
+    return d.decision == termination::Decision::kTerminates ? 0 : 1;
+  }
+  auto report = termination::Advise(symbols, p.tgds, p.database,
+                                    {.materialize = false});
+  if (!report.ok()) {
+    std::fprintf(stderr, "decider: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s (class %s, via %s)\n",
+              termination::DecisionName(report->decision),
+              tgd::TgdClassName(report->tgd_class),
+              report->method.c_str());
+  return report->decision == termination::Decision::kTerminates ? 0 : 1;
+}
+
+int Chase(core::SymbolTable* symbols, const tgd::Program& p,
+          const Options& options) {
+  chase::ChaseOptions copt;
+  copt.variant = options.variant;
+  copt.max_atoms = options.max_atoms;
+  chase::ChaseResult r = chase::RunChase(symbols, p.tgds, p.database, copt);
+  std::printf("variant:    %s\n", chase::ChaseVariantName(options.variant));
+  std::printf("outcome:    %s\n", chase::ChaseOutcomeName(r.outcome));
+  std::printf("atoms:      %zu (|D| = %zu)\n", r.instance.size(),
+              p.database.size());
+  std::printf("maxdepth:   %u\n", r.stats.max_depth);
+  std::printf("triggers:   %llu fired, %llu satisfied-skipped\n",
+              static_cast<unsigned long long>(r.stats.triggers_fired),
+              static_cast<unsigned long long>(r.stats.triggers_satisfied));
+  std::printf("rounds:     %llu\n",
+              static_cast<unsigned long long>(r.stats.rounds));
+  if (options.print_atoms) {
+    std::printf("%s", r.instance.ToSortedString(*symbols).c_str());
+  }
+  return r.Terminated() ? 0 : 1;
+}
+
+int Rewrite(core::SymbolTable* symbols, const tgd::Program& p,
+            const Options& options) {
+  if (options.mode == "simplify") {
+    rewrite::Simplifier simplifier(symbols);
+    auto simple = simplifier.SimplifyTgds(p.tgds);
+    if (!simple.ok()) {
+      std::fprintf(stderr, "simplify: %s\n",
+                   simple.status().ToString().c_str());
+      return 1;
+    }
+    core::Database simple_db = simplifier.SimplifyDatabase(p.database);
+    std::printf("%s", tgd::ProgramToString(*simple, simple_db,
+                                           *symbols).c_str());
+    return 0;
+  }
+  rewrite::LinearizeOptions lopt;
+  if (options.mode == "linearize") {
+    auto lin = rewrite::Linearize(p.database, p.tgds, symbols, lopt);
+    if (!lin.ok()) {
+      std::fprintf(stderr, "linearize: %s\n",
+                   lin.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%% %zu Sigma-types reachable from lin(D)\n",
+                lin->num_types);
+    std::printf("%s", tgd::ProgramToString(lin->tgds, lin->database,
+                                           *symbols).c_str());
+    return 0;
+  }
+  if (options.mode == "gsimple") {
+    auto gs = rewrite::GSimplify(p.database, p.tgds, symbols, lopt);
+    if (!gs.ok()) {
+      std::fprintf(stderr, "gsimple: %s\n",
+                   gs.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%% %zu Sigma-types, %zu linear TGDs before "
+                "simplification\n",
+                gs->num_types, gs->num_linear_tgds);
+    std::printf("%s", tgd::ProgramToString(gs->tgds, gs->database,
+                                           *symbols).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown rewrite mode '%s'\n",
+               options.mode.c_str());
+  return 2;
+}
+
+int Explain(core::SymbolTable* symbols, const tgd::Program& p) {
+  graph::WeakAcyclicityResult wa =
+      graph::CheckWeakAcyclicity(p.tgds, p.database, *symbols);
+  bool uniform = graph::IsUniformlyWeaklyAcyclic(p.tgds, *symbols);
+  std::printf("uniformly weakly-acyclic:     %s\n",
+              uniform ? "yes" : "no");
+  std::printf("weakly-acyclic w.r.t. D:      %s\n",
+              wa.weakly_acyclic ? "yes" : "no");
+  if (!wa.special_cycle_positions.empty()) {
+    std::printf("positions on special cycles:  ");
+    for (const core::Position& pos : wa.special_cycle_positions) {
+      std::printf("(%s,%u) ", symbols->predicate_name(pos.predicate).c_str(),
+                  pos.index + 1);
+    }
+    std::printf("\n");
+  }
+  if (!wa.supported_witnesses.empty()) {
+    std::printf("D-supported witnesses:        ");
+    for (const core::Position& pos : wa.supported_witnesses) {
+      std::printf("(%s,%u) ", symbols->predicate_name(pos.predicate).c_str(),
+                  pos.index + 1);
+    }
+    std::printf("\n");
+  }
+  tgd::TgdClass clazz = tgd::Classify(p.tgds);
+  if (clazz == tgd::TgdClass::kSimpleLinear) {
+    std::printf("=> Sigma in SL: WA w.r.t. D is exact (Theorem 6.4): "
+                "chase is %s\n",
+                wa.weakly_acyclic ? "FINITE" : "INFINITE");
+  } else if (wa.weakly_acyclic) {
+    std::printf("=> WA w.r.t. D is sufficient for any TGDs (Lemma 6.2): "
+                "chase is FINITE\n");
+  } else {
+    std::printf("=> not conclusive for class %s; run 'decide' for the "
+                "class-exact procedure\n",
+                tgd::TgdClassName(clazz));
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return Usage(argv[0]);
+
+  std::string text;
+  if (!ReadProgramText(options.file, &text)) return 1;
+
+  core::SymbolTable symbols;
+  auto program = tgd::ParseProgram(&symbols, text);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+
+  if (options.command == "classify") return Classify(&symbols, *program);
+  if (options.command == "decide") {
+    return Decide(&symbols, *program, options);
+  }
+  if (options.command == "chase") {
+    return Chase(&symbols, *program, options);
+  }
+  if (options.command == "rewrite") {
+    return Rewrite(&symbols, *program, options);
+  }
+  if (options.command == "explain") return Explain(&symbols, *program);
+  return Usage(argv[0]);
+}
+
+}  // namespace
+}  // namespace nuchase
+
+int main(int argc, char** argv) { return nuchase::Main(argc, argv); }
