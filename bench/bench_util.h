@@ -3,8 +3,18 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#if defined(__GLIBC__) || defined(__linux__)
+#include <errno.h>  // program_invocation_short_name
+#endif
 
 #include "util/table.h"
 
@@ -36,14 +46,236 @@ inline std::string FormatSeconds(double s) {
   return buf;
 }
 
+/// One measured data point. `params` holds the experiment's independent
+/// variables (workload name, |D|, seed, ...) as name/value pairs;
+/// `seconds` and `atoms` the measurement; `outcome` the qualitative
+/// result ("terminated", "timeout", a decider verdict, ...). Negative
+/// `seconds` / zero `atoms` mean "not measured" and are omitted from
+/// the JSON.
+struct BenchRow {
+  std::string experiment;
+  std::vector<std::pair<std::string, std::string>> params;
+  double seconds = -1.0;
+  std::uint64_t atoms = 0;
+  std::string outcome;
+};
+
+/// Accumulates bench results and emits machine-readable
+/// `BENCH_<name>.json` so every PR appends to the perf trajectory
+/// instead of scrolling tables past.
+///
+/// Two feeding paths:
+///  1. explicit — `Record(row)` from bench code;
+///  2. implicit — `PrintHeader` / `PrintTable` below forward to the
+///     global reporter, so the 17 existing benches produce JSON with no
+///     source change: each printed table becomes one experiment whose
+///     rows keep the column structure as params, with any "...(s)"
+///     column promoted to `seconds` and any "atoms" column to `atoms`.
+///
+/// Output: on process exit the global reporter writes
+/// `$NUCHASE_BENCH_JSON_DIR/BENCH_<bench>.json` when that variable is
+/// set (this is what tools/run_benches does), or the exact path in
+/// `$NUCHASE_BENCH_JSON` when that is set. With neither set nothing is
+/// written and the benches behave exactly as before.
+class BenchReporter {
+ public:
+  /// A standalone reporter (bench name defaults to the executable
+  /// name). Bench code normally uses Global() so the atexit hook and
+  /// the Print* helpers see the same instance.
+  BenchReporter() : bench_name_(DefaultBenchName()) {}
+
+  static BenchReporter& Global() {
+    static BenchReporter* reporter = [] {
+      auto* r = new BenchReporter();
+      std::atexit(&BenchReporter::FlushGlobalToEnv);
+      return r;
+    }();
+    return *reporter;
+  }
+
+  /// Overrides the bench name used in `BENCH_<name>.json` (defaults to
+  /// the executable name).
+  void SetBenchName(std::string name) { bench_name_ = std::move(name); }
+
+  /// Records the bench-level headline claim (PrintHeader forwards
+  /// here).
+  void SetClaim(std::string claim) { claim_ = std::move(claim); }
+
+  /// Starts a new experiment; rows recorded with an empty
+  /// `BenchRow::experiment` land in the most recently begun one. The
+  /// experiment entry itself is created lazily by the first row.
+  void BeginExperiment(const std::string& name) {
+    current_experiment_ = name;
+  }
+
+  void Record(BenchRow row) {
+    if (row.experiment.empty()) row.experiment = current_experiment_;
+    ExperimentFor(row.experiment).rows.push_back(std::move(row));
+  }
+
+  /// Captures a printed table: one row per table row, one param per
+  /// column. Columns whose header ends in "(s)" become `seconds`; an
+  /// "atoms" column becomes `atoms`; a "decision"/"outcome" column
+  /// becomes `outcome`.
+  void RecordTable(const util::Table& table) {
+    BeginExperiment(table.title());
+    const std::vector<std::string>& headers = table.headers();
+    for (const std::vector<std::string>& cells : table.rows()) {
+      BenchRow row;
+      row.experiment = table.title();
+      for (std::size_t i = 0; i < headers.size() && i < cells.size();
+           ++i) {
+        const std::string& h = headers[i];
+        if (row.seconds < 0 && h.size() >= 3 &&
+            h.compare(h.size() - 3, 3, "(s)") == 0) {
+          // Unmeasured cells ("-", "") must not read as 0.0 s, and must
+          // not block a later timing column from being promoted.
+          const char* begin = cells[i].c_str();
+          char* end = nullptr;
+          double parsed = std::strtod(begin, &end);
+          if (end != begin && parsed >= 0) row.seconds = parsed;
+        } else if (row.atoms == 0 && h == "atoms") {
+          row.atoms = std::strtoull(cells[i].c_str(), nullptr, 10);
+        } else if (row.outcome.empty() &&
+                   (h == "decision" || h == "outcome")) {
+          row.outcome = cells[i];
+        }
+        row.params.emplace_back(h, cells[i]);
+      }
+      ExperimentFor(table.title()).rows.push_back(std::move(row));
+    }
+  }
+
+  bool empty() const { return experiments_.empty(); }
+
+  void WriteJson(std::ostream& os) const {
+    os << "{\n";
+    os << "  \"bench\": " << Quoted(bench_name_) << ",\n";
+    os << "  \"claim\": " << Quoted(claim_) << ",\n";
+    os << "  \"schema_version\": 1,\n";
+    os << "  \"experiments\": [";
+    for (std::size_t e = 0; e < experiments_.size(); ++e) {
+      os << (e ? ",\n" : "\n");
+      const Experiment& exp = experiments_[e];
+      os << "    {\n      \"experiment\": " << Quoted(exp.name)
+         << ",\n      \"rows\": [";
+      for (std::size_t r = 0; r < exp.rows.size(); ++r) {
+        os << (r ? ",\n" : "\n");
+        WriteRow(os, exp.rows[r]);
+      }
+      os << (exp.rows.empty() ? "]" : "\n      ]") << "\n    }";
+    }
+    os << (experiments_.empty() ? "]" : "\n  ]") << "\n}\n";
+  }
+
+  bool WriteJsonFile(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    WriteJson(out);
+    return out.good();
+  }
+
+  /// Writes BENCH_<name>.json as directed by the environment (see class
+  /// comment). Returns false when the environment requests no output.
+  bool FlushToEnv() const {
+    if (empty()) return false;
+    if (const char* path = std::getenv("NUCHASE_BENCH_JSON")) {
+      return WriteJsonFile(path);
+    }
+    if (const char* dir = std::getenv("NUCHASE_BENCH_JSON_DIR")) {
+      return WriteJsonFile(std::string(dir) + "/BENCH_" + bench_name_ +
+                           ".json");
+    }
+    return false;
+  }
+
+ private:
+  struct Experiment {
+    std::string name;
+    std::vector<BenchRow> rows;
+  };
+
+  static void FlushGlobalToEnv() { Global().FlushToEnv(); }
+
+  static std::string DefaultBenchName() {
+#if defined(__GLIBC__)
+    if (program_invocation_short_name != nullptr &&
+        *program_invocation_short_name != '\0') {
+      return program_invocation_short_name;
+    }
+#endif
+    return "bench";
+  }
+
+  Experiment& ExperimentFor(const std::string& name) {
+    for (Experiment& e : experiments_) {
+      if (e.name == name) return e;
+    }
+    experiments_.push_back(Experiment{name, {}});
+    return experiments_.back();
+  }
+
+  static std::string Quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static void WriteRow(std::ostream& os, const BenchRow& row) {
+    os << "        {\"params\": {";
+    for (std::size_t p = 0; p < row.params.size(); ++p) {
+      os << (p ? ", " : "") << Quoted(row.params[p].first) << ": "
+         << Quoted(row.params[p].second);
+    }
+    os << "}";
+    if (row.seconds >= 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6f", row.seconds);
+      os << ", \"seconds\": " << buf;
+    }
+    if (row.atoms != 0) os << ", \"atoms\": " << row.atoms;
+    if (!row.outcome.empty()) {
+      os << ", \"outcome\": " << Quoted(row.outcome);
+    }
+    os << "}";
+  }
+
+  std::string bench_name_;
+  std::string claim_;
+  std::string current_experiment_;
+  std::vector<Experiment> experiments_;
+};
+
 inline void PrintHeader(const std::string& experiment,
                         const std::string& claim) {
   std::cout << "\n### " << experiment << "\n";
   std::cout << "paper claim: " << claim << "\n\n";
+  BenchReporter::Global().SetClaim(claim);
+  BenchReporter::Global().BeginExperiment(experiment);
 }
 
 inline void PrintTable(const util::Table& table) {
   std::cout << table.ToString() << "\n";
+  BenchReporter::Global().RecordTable(table);
 }
 
 }  // namespace bench

@@ -28,6 +28,14 @@ class Table {
 
   std::size_t num_rows() const { return rows_.size(); }
 
+  /// Structured access, used by the bench harness to re-emit recorded
+  /// tables as JSON.
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   std::string title_;
   std::vector<std::string> headers_;

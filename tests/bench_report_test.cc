@@ -1,0 +1,161 @@
+// Tests for the bench results harness (bench/bench_util.h): explicit
+// row recording, automatic table capture, JSON emission, and the
+// environment-driven BENCH_<name>.json flush used by tools/run_benches.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "util/table.h"
+
+namespace nuchase {
+namespace bench {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::string JsonFor(const BenchReporter& reporter) {
+  std::ostringstream out;
+  reporter.WriteJson(out);
+  return out.str();
+}
+
+TEST(BenchReporterTest, ExplicitRowsRoundTripToJson) {
+  BenchReporter reporter;
+  reporter.SetBenchName("demo");
+  reporter.SetClaim("f(n) is linear");
+  reporter.BeginExperiment("scaling sweep");
+
+  BenchRow row;
+  row.params = {{"|D|", "1000"}, {"seed", "7"}};
+  row.seconds = 0.25;
+  row.atoms = 42;
+  row.outcome = "terminated";
+  reporter.Record(row);
+
+  const std::string json = JsonFor(reporter);
+  EXPECT_TRUE(Contains(json, "\"bench\": \"demo\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"claim\": \"f(n) is linear\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"experiment\": \"scaling sweep\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"|D|\": \"1000\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"seconds\": 0.250000")) << json;
+  EXPECT_TRUE(Contains(json, "\"atoms\": 42")) << json;
+  EXPECT_TRUE(Contains(json, "\"outcome\": \"terminated\"")) << json;
+}
+
+TEST(BenchReporterTest, RowWithExplicitExperimentCreatesIt) {
+  BenchReporter reporter;
+  BenchRow row;
+  row.experiment = "named elsewhere";
+  row.seconds = 1.5;
+  reporter.Record(row);
+  EXPECT_TRUE(Contains(JsonFor(reporter),
+                       "\"experiment\": \"named elsewhere\""));
+}
+
+TEST(BenchReporterTest, TableCaptureLiftsTimingColumns) {
+  util::Table table("sweep", {"workload", "chase(s)", "atoms", "decision"});
+  table.AddRow({"emp-mgr", "0.1234", "99", "terminates"});
+  table.AddRow({"random-g-1", "0.5000", "7", "does not"});
+
+  BenchReporter reporter;
+  reporter.SetBenchName("capture");
+  reporter.RecordTable(table);
+
+  const std::string json = JsonFor(reporter);
+  EXPECT_TRUE(Contains(json, "\"experiment\": \"sweep\"")) << json;
+  // Every column survives as a param...
+  EXPECT_TRUE(Contains(json, "\"workload\": \"emp-mgr\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"chase(s)\": \"0.1234\"")) << json;
+  // ...and the timing/size/verdict columns are promoted to fields.
+  EXPECT_TRUE(Contains(json, "\"seconds\": 0.123400")) << json;
+  EXPECT_TRUE(Contains(json, "\"atoms\": 99")) << json;
+  EXPECT_TRUE(Contains(json, "\"outcome\": \"terminates\"")) << json;
+}
+
+TEST(BenchReporterTest, UnmeasuredTimingCellsDoNotBecomeZeroSeconds) {
+  // bench_pae-style row: the oracle column holds "-" when skipped; the
+  // real timing must come from the later chase(s) column, and a row
+  // with no parseable timing at all must carry no "seconds" field.
+  util::Table table("skips", {"workload", "oracle(s)", "chase(s)"});
+  table.AddRow({"skipped-oracle", "-", "0.7500"});
+  table.AddRow({"nothing-measured", "-", "-"});
+
+  BenchReporter reporter;
+  reporter.SetBenchName("skips");
+  reporter.RecordTable(table);
+
+  const std::string json = JsonFor(reporter);
+  EXPECT_TRUE(Contains(json, "\"seconds\": 0.750000")) << json;
+  EXPECT_FALSE(Contains(json, "\"seconds\": 0.000000")) << json;
+}
+
+TEST(BenchReporterTest, JsonStringsAreEscaped) {
+  BenchReporter reporter;
+  reporter.SetBenchName("esc");
+  reporter.SetClaim("says \"hi\"\nand\ttabs \\ backslash");
+  BenchRow row;
+  row.outcome = "a\"b";
+  reporter.Record(row);
+
+  const std::string json = JsonFor(reporter);
+  EXPECT_TRUE(Contains(json, "says \\\"hi\\\"\\nand\\ttabs \\\\ backslash"))
+      << json;
+  EXPECT_TRUE(Contains(json, "\"outcome\": \"a\\\"b\"")) << json;
+}
+
+TEST(BenchReporterTest, EmptyReporterWritesValidSkeleton) {
+  BenchReporter reporter;
+  reporter.SetBenchName("empty");
+  EXPECT_TRUE(reporter.empty());
+  const std::string json = JsonFor(reporter);
+  EXPECT_TRUE(Contains(json, "\"experiments\": []")) << json;
+}
+
+TEST(BenchReporterTest, FlushToEnvWritesBenchJsonFile) {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string dir = tmpdir != nullptr ? tmpdir : "/tmp";
+  std::string path = dir + "/BENCH_flush_test.json";
+  std::remove(path.c_str());
+
+  BenchReporter reporter;
+  reporter.SetBenchName("flush_test");
+  BenchRow row;
+  row.seconds = 0.5;
+  reporter.Record(row);
+
+  ASSERT_EQ(unsetenv("NUCHASE_BENCH_JSON"), 0);
+  ASSERT_EQ(unsetenv("NUCHASE_BENCH_JSON_DIR"), 0);
+  EXPECT_FALSE(reporter.FlushToEnv());
+
+  ASSERT_EQ(setenv("NUCHASE_BENCH_JSON_DIR", dir.c_str(), 1), 0);
+  EXPECT_TRUE(reporter.FlushToEnv());
+  ASSERT_EQ(unsetenv("NUCHASE_BENCH_JSON_DIR"), 0);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_TRUE(Contains(contents.str(), "\"bench\": \"flush_test\""));
+  std::remove(path.c_str());
+}
+
+TEST(TableAccessorsTest, ExposeTitleHeadersRows) {
+  util::Table table("t", {"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.title(), "t");
+  ASSERT_EQ(table.headers().size(), 2u);
+  EXPECT_EQ(table.headers()[1], "b");
+  ASSERT_EQ(table.rows().size(), 1u);
+  EXPECT_EQ(table.rows()[0][0], "1");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nuchase

@@ -106,6 +106,92 @@ TEST_F(ChaseTest, RoundBudget) {
   EXPECT_EQ(result.stats.rounds, 3u);
 }
 
+TEST(ChaseNamesTest, VariantNamesCoverAllVariants) {
+  EXPECT_STREQ(ChaseVariantName(ChaseVariant::kSemiOblivious),
+               "semi-oblivious");
+  EXPECT_STREQ(ChaseVariantName(ChaseVariant::kOblivious), "oblivious");
+  EXPECT_STREQ(ChaseVariantName(ChaseVariant::kRestricted), "restricted");
+}
+
+TEST(ChaseNamesTest, OutcomeNamesCoverAllOutcomes) {
+  EXPECT_STREQ(ChaseOutcomeName(ChaseOutcome::kTerminated), "terminated");
+  EXPECT_STREQ(ChaseOutcomeName(ChaseOutcome::kAtomLimit), "atom-limit");
+  EXPECT_STREQ(ChaseOutcomeName(ChaseOutcome::kDepthLimit), "depth-limit");
+  EXPECT_STREQ(ChaseOutcomeName(ChaseOutcome::kRoundLimit), "round-limit");
+}
+
+TEST_F(ChaseTest, AtomLimitOnInlineProgramReportsItsOutcome) {
+  tgd::Program p = Parse(
+      "R(a, b).\n"
+      "R(x, y) -> R(y, z).\n");
+  ChaseOptions options;
+  options.max_atoms = 10;
+  ChaseResult result = RunChase(&symbols_, p.tgds, p.database, options);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kAtomLimit);
+  EXPECT_STREQ(ChaseOutcomeName(result.outcome), "atom-limit");
+  EXPECT_FALSE(result.Terminated());
+  // The budget stops the run promptly: at most one round past the limit.
+  EXPECT_LE(result.instance.size(), 10u + 2);
+}
+
+TEST_F(ChaseTest, DepthLimitOnInlineProgramReportsItsOutcome) {
+  tgd::Program p = Parse(
+      "R(a, b).\n"
+      "R(x, y) -> R(y, z).\n");
+  ChaseOptions options;
+  options.max_depth = 3;
+  ChaseResult result = RunChase(&symbols_, p.tgds, p.database, options);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kDepthLimit);
+  EXPECT_STREQ(ChaseOutcomeName(result.outcome), "depth-limit");
+  EXPECT_EQ(result.stats.max_depth, 4u);  // the first over-deep null
+}
+
+TEST_F(ChaseTest, RoundLimitOnInlineProgramReportsItsOutcome) {
+  tgd::Program p = Parse(
+      "R(a, b).\n"
+      "R(x, y) -> R(y, z).\n");
+  ChaseOptions options;
+  options.max_rounds = 2;
+  ChaseResult result = RunChase(&symbols_, p.tgds, p.database, options);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kRoundLimit);
+  EXPECT_STREQ(ChaseOutcomeName(result.outcome), "round-limit");
+  EXPECT_EQ(result.stats.rounds, 2u);
+}
+
+TEST_F(ChaseTest, TerminatingChaseIgnoresGenerousLimits) {
+  // All three budgets set but never reached: the outcome must still be
+  // kTerminated, not any limit.
+  tgd::Program p = Parse(
+      "R(a, b).\n"
+      "R(x, y) -> P(x, y).\n");
+  ChaseOptions options;
+  options.max_atoms = 1000;
+  options.max_depth = 50;
+  options.max_rounds = 50;
+  ChaseResult result = RunChase(&symbols_, p.tgds, p.database, options);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kTerminated);
+  EXPECT_STREQ(ChaseOutcomeName(result.outcome), "terminated");
+  EXPECT_TRUE(result.Terminated());
+}
+
+TEST_F(ChaseTest, LimitsApplyToEveryVariant) {
+  for (ChaseVariant variant :
+       {ChaseVariant::kSemiOblivious, ChaseVariant::kOblivious,
+        ChaseVariant::kRestricted}) {
+    core::SymbolTable symbols;
+    auto p = tgd::ParseProgram(&symbols,
+                               "R(a, b).\n"
+                               "R(x, y) -> R(y, z).\n");
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    ChaseOptions options;
+    options.variant = variant;
+    options.max_atoms = 25;
+    ChaseResult result = RunChase(&symbols, p->tgds, p->database, options);
+    EXPECT_EQ(result.outcome, ChaseOutcome::kAtomLimit)
+        << ChaseVariantName(variant);
+  }
+}
+
 TEST_F(ChaseTest, FairnessAllTgdsEventuallyFire) {
   // Section 3: a fair derivation must satisfy σ' = R(x,y) → P(x,y) along
   // the way; our breadth-first engine is fair by construction.

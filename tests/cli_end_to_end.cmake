@@ -1,0 +1,73 @@
+# End-to-end test for tools/nuchase_cli, run via
+#   cmake -DNUCHASE_CLI=<exe> -DWORK_DIR=<dir> -P cli_end_to_end.cmake
+# Drives classify/decide/chase/rewrite on the quickstart ontology and
+# asserts on exit codes and key output lines.
+
+if(NOT NUCHASE_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "NUCHASE_CLI and WORK_DIR must be set")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(PROGRAM_FILE "${WORK_DIR}/quickstart.tgd")
+file(WRITE "${PROGRAM_FILE}"
+"Emp(alice, sales).
+Emp(bob, eng).
+Emp(x, d) -> Dept(d).
+Dept(d) -> Mgr(d, m).
+Mgr(d, m) -> Emp(m, d).
+")
+
+# run_cli(<out-var> <expected-rc> <arg>...) — runs the CLI, asserts the
+# exit code, and stores combined stdout in the out-var.
+function(run_cli out_var expected_rc)
+  execute_process(
+      COMMAND "${NUCHASE_CLI}" ${ARGN}
+      OUTPUT_VARIABLE stdout
+      ERROR_VARIABLE stderr
+      RESULT_VARIABLE rc)
+  if(NOT rc EQUAL expected_rc)
+    message(FATAL_ERROR
+        "nuchase ${ARGN}: exit ${rc}, expected ${expected_rc}\n"
+        "stdout:\n${stdout}\nstderr:\n${stderr}")
+  endif()
+  set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+function(expect_line output needle context)
+  string(FIND "${output}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+        "${context}: expected output to contain '${needle}', got:\n"
+        "${output}")
+  endif()
+endfunction()
+
+run_cli(out 0 classify "${PROGRAM_FILE}")
+expect_line("${out}" "class:" "classify")
+expect_line("${out}" "SL" "classify")
+expect_line("${out}" "d_C(Sigma)" "classify")
+
+run_cli(out 0 decide "${PROGRAM_FILE}")
+expect_line("${out}" "terminates" "decide")
+
+run_cli(out 0 chase --print "${PROGRAM_FILE}")
+expect_line("${out}" "outcome:    terminated" "chase")
+expect_line("${out}" "variant:    semi-oblivious" "chase")
+expect_line("${out}" "Dept(" "chase --print")
+
+run_cli(out 0 chase --variant=restricted "${PROGRAM_FILE}")
+expect_line("${out}" "variant:    restricted" "chase restricted")
+
+run_cli(out 0 rewrite --mode=simplify "${PROGRAM_FILE}")
+
+# Error paths: unknown command and missing file must fail loudly.
+run_cli(out 2 badcommand "${PROGRAM_FILE}")
+execute_process(
+    COMMAND "${NUCHASE_CLI}" classify "${WORK_DIR}/no_such_file.tgd"
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "classify on a missing file must not exit 0")
+endif()
+
+message(STATUS "cli_end_to_end: all checks passed")
