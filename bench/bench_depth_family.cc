@@ -15,7 +15,8 @@ void Run() {
 
   util::Table table("Prop 4.5 depth family",
                     {"n=|D_n|", "atoms(chase)", "maxdepth",
-                     "paper(n-1)", "match"});
+                     "paper(n-1)", "match", "join_probes",
+                     "delta_seeds"});
   for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
     core::SymbolTable symbols;
     workload::Workload w = workload::MakeDepthFamily(&symbols, n);
@@ -25,7 +26,9 @@ void Run() {
                   std::to_string(result.instance.size()),
                   std::to_string(result.stats.max_depth),
                   std::to_string(n - 1),
-                  result.stats.max_depth == n - 1 ? "yes" : "NO"});
+                  result.stats.max_depth == n - 1 ? "yes" : "NO",
+                  std::to_string(result.stats.join_probes),
+                  std::to_string(result.stats.delta_atoms_scanned)});
   }
   bench::PrintTable(table);
 

@@ -1,25 +1,91 @@
-// A2 (ablation) — the storage-layer design choice DESIGN.md calls out:
-// the instance keeps a secondary (predicate, position, term) index so
-// trigger search can seed joins from bound positions (the "VLog-style"
-// layout). This bench chases the same workloads with the index enabled
-// and disabled; results are identical, but the scan baseline degrades
-// super-linearly on join-heavy guarded rules.
+// A2 (ablation) — the two storage/engine design choices of the trigger
+// search, crossed: the secondary (predicate, position, term) index
+// ("VLog-style" layout) and the semi-naive delta engine (each round
+// joins only through the previous round's delta, seeded via the
+// per-predicate delta index with a join order planned from the delta
+// atom). All four cells materialize byte-identical instances; only
+// join_probes and seconds differ. The delta dimension is the
+// order-of-magnitude fix on recursive workloads (datalog-tc, the
+// Proposition 4.5 depth family), where the full scan re-derives every
+// round's matches from the whole instance.
+#include <string>
+
 #include "bench/bench_util.h"
 #include "chase/chase.h"
 #include "tgd/parser.h"
+#include "workload/depth_family.h"
 
 namespace nuchase {
 namespace {
 
+struct Cell {
+  bool use_delta;
+  bool use_position_index;
+};
+
+constexpr Cell kCells[] = {
+    {true, true},
+    {true, false},
+    {false, true},
+    {false, false},
+};
+
+/// Builds a fresh (symbols, Σ, D) for every cell — null names are
+/// interned in the symbol table, so sharing one table across runs would
+/// make byte-identical comparison impossible by construction.
+struct Setup {
+  core::SymbolTable symbols;
+  tgd::TgdSet tgds;
+  core::Database db;
+};
+
+template <typename MakeSetup>
+void RunMatrix(const char* label, const MakeSetup& make_setup,
+               util::Table* table) {
+  std::string reference;
+  double delta_indexed_s = 0;
+  for (const Cell& cell : kCells) {
+    Setup setup;
+    make_setup(&setup);
+    chase::ChaseOptions options;
+    options.max_atoms = 5'000'000;
+    options.use_delta = cell.use_delta;
+    options.use_position_index = cell.use_position_index;
+    bench::Stopwatch timer;
+    chase::ChaseResult r =
+        chase::RunChase(&setup.symbols, setup.tgds, setup.db, options);
+    double seconds = timer.Seconds();
+
+    std::string sorted = r.instance.ToSortedString(setup.symbols);
+    if (cell.use_delta && cell.use_position_index) {
+      reference = sorted;
+      delta_indexed_s = seconds;
+    }
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                  delta_indexed_s > 0 ? seconds / delta_indexed_s : 0.0);
+    table->AddRow(
+        {label, std::to_string(setup.db.size()),
+         std::to_string(r.instance.size()),
+         cell.use_delta ? "on" : "off",
+         cell.use_position_index ? "on" : "off",
+         bench::FormatSeconds(seconds),
+         std::to_string(r.stats.join_probes),
+         std::to_string(r.stats.delta_atoms_scanned), speedup,
+         sorted == reference ? "yes" : "NO"});
+  }
+}
+
 void Run() {
   bench::PrintHeader(
       "A2 bench_index_ablation",
-      "per-position index vs predicate-scan joins; identical output, "
-      "different cost");
+      "delta (semi-naive) x position-index ablation matrix; "
+      "byte-identical output, different cost");
 
-  util::Table table("position-index ablation",
-                    {"workload", "|D|", "|chase|", "indexed(s)",
-                     "scan(s)", "speedup", "same result"});
+  util::Table table("delta x position-index ablation",
+                    {"workload", "|D|", "atoms", "delta", "posindex",
+                     "time(s)", "join_probes", "delta_seeds",
+                     "vs delta+idx", "same result"});
 
   struct Scenario {
     const char* label;
@@ -35,55 +101,53 @@ void Run() {
 
   for (const Scenario& s : scenarios) {
     for (std::uint64_t size : {100u, 400u, 1600u}) {
-      core::SymbolTable symbols;
-      auto tgds = tgd::ParseTgdSet(&symbols, s.rules);
-      if (!tgds.ok()) return;
-      core::Database db;
-      if (std::string(s.label) == "emp-dept-join") {
-        for (std::uint64_t i = 0; i < size; ++i) {
-          (void)db.AddFact(&symbols, "Emp",
-                           {"e" + std::to_string(i),
-                            "d" + std::to_string(i % 50)});
+      // The naive x scan cell of datalog-tc is quadratic in rounds; cap
+      // the input so the matrix stays minutes-free.
+      if (std::string(s.label) == "datalog-tc" && size > 400) continue;
+      auto make_setup = [&](Setup* setup) {
+        auto tgds = tgd::ParseTgdSet(&setup->symbols, s.rules);
+        if (!tgds.ok()) {
+          std::fprintf(stderr, "bench_index_ablation: bad rules for %s: %s\n",
+                       s.label, tgds.status().ToString().c_str());
+          std::exit(1);
         }
-        for (std::uint64_t d = 0; d < 50; ++d) {
-          (void)db.AddFact(&symbols, "Dept", {"d" + std::to_string(d)});
+        setup->tgds = *tgds;
+        if (std::string(s.label) == "emp-dept-join") {
+          for (std::uint64_t i = 0; i < size; ++i) {
+            (void)setup->db.AddFact(&setup->symbols, "Emp",
+                                    {"e" + std::to_string(i),
+                                     "d" + std::to_string(i % 50)});
+          }
+          for (std::uint64_t d = 0; d < 50; ++d) {
+            (void)setup->db.AddFact(&setup->symbols, "Dept",
+                                    {"d" + std::to_string(d)});
+          }
+        } else {
+          // A long path: recursion depth (and rounds) scale with it.
+          for (std::uint64_t i = 0; i + 1 < size / 4; ++i) {
+            (void)setup->db.AddFact(&setup->symbols, "E",
+                                    {"v" + std::to_string(i),
+                                     "v" + std::to_string(i + 1)});
+          }
         }
-      } else {
-        // A long path plus a few shortcuts: quadratic T.
-        for (std::uint64_t i = 0; i + 1 < size / 4; ++i) {
-          (void)db.AddFact(&symbols, "E",
-                           {"v" + std::to_string(i),
-                            "v" + std::to_string(i + 1)});
-        }
-      }
-
-      chase::ChaseOptions indexed;
-      indexed.max_atoms = 5'000'000;
-      bench::Stopwatch t1;
-      chase::ChaseResult r1 =
-          chase::RunChase(&symbols, *tgds, db, indexed);
-      double indexed_s = t1.Seconds();
-
-      chase::ChaseOptions scan = indexed;
-      scan.use_position_index = false;
-      bench::Stopwatch t2;
-      chase::ChaseResult r2 = chase::RunChase(&symbols, *tgds, db, scan);
-      double scan_s = t2.Seconds();
-
-      char speedup[32];
-      std::snprintf(speedup, sizeof(speedup), "%.1fx",
-                    indexed_s > 0 ? scan_s / indexed_s : 0.0);
-      table.AddRow(
-          {s.label, std::to_string(db.size()),
-           std::to_string(r1.instance.size()),
-           bench::FormatSeconds(indexed_s), bench::FormatSeconds(scan_s),
-           speedup,
-           r1.instance.size() == r2.instance.size() &&
-                   r1.Terminated() == r2.Terminated()
-               ? "yes"
-               : "NO"});
+      };
+      RunMatrix(s.label, make_setup, &table);
     }
   }
+
+  // The Proposition 4.5 depth family: maxdepth n-1, n rounds — the
+  // deepest recursion the decider benches run, and the workload the
+  // regression gate tracks.
+  for (std::uint32_t n : {32u, 64u, 128u}) {
+    auto make_setup = [&](Setup* setup) {
+      workload::Workload w = workload::MakeDepthFamily(&setup->symbols, n);
+      setup->tgds = std::move(w.tgds);
+      setup->db = std::move(w.database);
+    };
+    RunMatrix(("depth-family-n" + std::to_string(n)).c_str(), make_setup,
+              &table);
+  }
+
   bench::PrintTable(table);
 }
 

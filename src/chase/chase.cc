@@ -57,6 +57,51 @@ struct PendingTrigger {
   static constexpr AtomIndex kNoGuard = 0xffffffffu;
 };
 
+/// Canonical within-round order: by frontier images, then body images.
+/// Both engines (delta-seeded and full-scan) enumerate the same trigger
+/// set per round but in different orders; sorting before the apply phase
+/// makes the firing order — and hence the restricted-chase result —
+/// independent of the engine, so the ablation cells stay byte-identical.
+bool PendingBefore(const PendingTrigger& a, const PendingTrigger& b) {
+  if (a.frontier_images != b.frontier_images) {
+    return a.frontier_images < b.frontier_images;
+  }
+  return a.body_images < b.body_images;
+}
+
+/// Per-TGD join plans for the semi-naive engine: for every body position
+/// p, the body reordered by PlanJoinOrder(body, p) so the delta-seeded
+/// atom comes first and each following atom is maximally connected to
+/// the prefix. `old_flags[p]` (aligned with the reordered body) marks
+/// the atoms whose original position precedes p: restricting those to
+/// pre-delta atoms makes every homomorphism enumerable from exactly one
+/// seed position — its first (in body order) delta atom. Computed once
+/// per run.
+struct RulePlan {
+  // reordered_bodies[p] is the body permuted with position p first.
+  std::vector<std::vector<Atom>> reordered_bodies;
+  std::vector<std::vector<bool>> old_flags;
+};
+
+RulePlan MakeRulePlan(const tgd::Tgd& rule) {
+  RulePlan plan;
+  const std::vector<Atom>& body = rule.body();
+  plan.reordered_bodies.resize(body.size());
+  plan.old_flags.resize(body.size());
+  for (std::size_t p = 0; p < body.size(); ++p) {
+    std::vector<std::size_t> order = PlanJoinOrder(body, p);
+    std::vector<Atom>& reordered = plan.reordered_bodies[p];
+    std::vector<bool>& old_only = plan.old_flags[p];
+    reordered.reserve(body.size());
+    old_only.reserve(body.size());
+    for (std::size_t i : order) {
+      reordered.push_back(body[i]);
+      old_only.push_back(i < p);
+    }
+  }
+  return plan;
+}
+
 }  // namespace
 
 ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
@@ -70,9 +115,21 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
       fired;
 
   result.stats.database_atoms = db.size();
+  if (options.use_delta) instance.EnableDeltaTracking();
   for (const Atom& fact : db.facts()) {
     auto [idx, fresh] = instance.Insert(fact);
     if (fresh && options.build_forest) result.forest.AddRoot(idx);
+  }
+  if (options.use_delta) instance.AdvanceDelta();
+
+  // One join plan per TGD, shared by every round (the body never
+  // changes; only the seed position varies).
+  std::vector<RulePlan> plans;
+  if (options.use_delta) {
+    plans.reserve(tgds.size());
+    for (std::uint32_t ti = 0; ti < tgds.size(); ++ti) {
+      plans.push_back(MakeRulePlan(tgds.tgd(ti)));
+    }
   }
 
   std::size_t delta_begin = 0;
@@ -91,62 +148,106 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
       const tgd::Tgd& rule = tgds.tgd(ti);
       const std::vector<Term>& frontier = rule.frontier();
 
-      // Collect phase: enumerate homomorphisms with at least one body atom
-      // in the delta window; do not touch the instance while its index
-      // vectors are being iterated.
+      // Collect phase: enumerate candidate homomorphisms; do not touch
+      // the instance while its index vectors are being iterated. The
+      // semi-naive engine only joins through the previous round's delta;
+      // the naive baseline re-enumerates everything and lets the `fired`
+      // set discard the stale finds.
       pending.clear();
       HomomorphismFinder finder(instance, options.use_position_index);
-      for (std::size_t seed_pos = 0; seed_pos < rule.body().size();
-           ++seed_pos) {
-        core::PredicateId seed_pred = rule.body()[seed_pos].predicate;
-        for (std::size_t a = delta_begin; a < delta_end; ++a) {
-          if (instance.atom(static_cast<AtomIndex>(a)).predicate !=
-              seed_pred) {
-            continue;
+      finder.set_probe_counter(&result.stats.join_probes);
+      auto on_match = [&](const Substitution& h) {
+        // Round discipline for the naive baseline, mirroring the delta
+        // engine exactly: a trigger is collected in the round whose
+        // delta window contains its first (in body order) non-old
+        // atom. Homomorphisms made only of pre-window atoms were
+        // collected earlier; ones whose first non-old atom was
+        // inserted *this* round (by an earlier rule) are deferred —
+        // without being recorded as fired — so both engines apply the
+        // same triggers in the same rounds and stay byte-identical.
+        if (!options.use_delta) {
+          bool in_window = false;
+          for (const Atom& body_atom : rule.body()) {
+            AtomIndex idx = 0;
+            if (!instance.Find(ApplySubstitution(body_atom, h), &idx)) {
+              return true;  // unreachable: h maps the body into I
+            }
+            if (idx >= delta_begin) {  // first non-old atom
+              in_window = idx < delta_end;
+              break;
+            }
           }
-          finder.Enumerate(
-              rule.body(), Substitution{}, static_cast<int>(seed_pos),
-              static_cast<AtomIndex>(a), [&](const Substitution& h) {
-                // Dedup key: (σ, h|fr(σ)) for the semi-oblivious and
-                // restricted variants (both result and head-satisfaction
-                // depend only on the frontier restriction), (σ, h) for
-                // the oblivious one.
-                PendingTrigger trig;
-                trig.tgd_index = ti;
-                trig.frontier_images.reserve(frontier.size());
-                for (Term v : frontier) {
-                  trig.frontier_images.push_back(h.at(v));
-                }
-                std::vector<std::uint32_t> key;
-                key.push_back(ti);
-                if (options.variant == ChaseVariant::kOblivious) {
-                  const std::vector<Term>& body_vars =
-                      rule.body_variables();
-                  trig.body_images.reserve(body_vars.size());
-                  for (Term v : body_vars) {
-                    Term image = h.at(v);
-                    key.push_back(image.bits());
-                    trig.body_images.push_back(image);
-                  }
-                } else {
-                  for (Term image : trig.frontier_images) {
-                    key.push_back(image.bits());
-                  }
-                }
-                if (!fired.insert(std::move(key)).second) return true;
-                trig.guard_image = PendingTrigger::kNoGuard;
-                if (rule.IsGuarded()) {
-                  Atom guard_image = ApplySubstitution(rule.guard(), h);
-                  AtomIndex gi = 0;
-                  if (instance.Find(guard_image, &gi)) {
-                    trig.guard_image = gi;
-                  }
-                }
-                pending.push_back(std::move(trig));
-                return true;
-              });
+          if (!in_window) return true;
         }
+        // Dedup key: (σ, h|fr(σ)) for the semi-oblivious and
+        // restricted variants (both result and head-satisfaction
+        // depend only on the frontier restriction), (σ, h) for
+        // the oblivious one.
+        PendingTrigger trig;
+        trig.tgd_index = ti;
+        trig.frontier_images.reserve(frontier.size());
+        for (Term v : frontier) {
+          trig.frontier_images.push_back(h.at(v));
+        }
+        std::vector<std::uint32_t> key;
+        key.push_back(ti);
+        if (options.variant == ChaseVariant::kOblivious) {
+          const std::vector<Term>& body_vars = rule.body_variables();
+          trig.body_images.reserve(body_vars.size());
+          for (Term v : body_vars) {
+            Term image = h.at(v);
+            key.push_back(image.bits());
+            trig.body_images.push_back(image);
+          }
+        } else {
+          for (Term image : trig.frontier_images) {
+            key.push_back(image.bits());
+          }
+        }
+        if (!fired.insert(std::move(key)).second) return true;
+        trig.guard_image = PendingTrigger::kNoGuard;
+        if (rule.IsGuarded()) {
+          Atom guard_image = ApplySubstitution(rule.guard(), h);
+          AtomIndex gi = 0;
+          if (instance.Find(guard_image, &gi)) {
+            trig.guard_image = gi;
+          }
+        }
+        pending.push_back(std::move(trig));
+        return true;
+      };
+
+      if (options.use_delta) {
+        // Semi-naive: seed every join from a delta atom, through the
+        // per-predicate delta index and the precomputed join order;
+        // body positions before the seed are restricted to pre-delta
+        // atoms so each homomorphism is enumerated from exactly one
+        // seed.
+        const RulePlan& plan = plans[ti];
+        for (std::size_t seed_pos = 0; seed_pos < rule.body().size();
+             ++seed_pos) {
+          core::PredicateId seed_pred = rule.body()[seed_pos].predicate;
+          const std::vector<AtomIndex>& seeds =
+              instance.DeltaAtomsWithPredicate(seed_pred);
+          result.stats.delta_atoms_scanned += seeds.size();
+          finder.set_old_restriction(&plan.old_flags[seed_pos],
+                                     static_cast<AtomIndex>(delta_begin));
+          for (AtomIndex a : seeds) {
+            finder.Enumerate(plan.reordered_bodies[seed_pos],
+                             Substitution{}, /*seed_atom=*/0, a, on_match);
+          }
+        }
+        finder.set_old_restriction(nullptr, 0);
+      } else {
+        // Naive baseline: re-enumerate every homomorphism from the full
+        // instance; `fired` discards the ones found in earlier rounds.
+        finder.Enumerate(rule.body(), on_match);
       }
+
+      // Both engines find the same trigger set per round, in different
+      // orders; apply in canonical order so the firing order (and the
+      // restricted-chase result) is engine-independent.
+      std::sort(pending.begin(), pending.end(), PendingBefore);
 
       // Apply phase.
       for (const PendingTrigger& trig : pending) {
@@ -162,7 +263,9 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
         // keeps the trigger satisfied forever, so the `fired` entry can
         // stand.
         if (options.variant == ChaseVariant::kRestricted) {
-          HomomorphismFinder head_finder(instance);
+          HomomorphismFinder head_finder(instance,
+                                         options.use_position_index);
+          head_finder.set_probe_counter(&result.stats.join_probes);
           bool satisfied = false;
           head_finder.Enumerate(rule.head(), h, /*seed_atom=*/-1,
                                 /*seed_target=*/0,
@@ -215,6 +318,7 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
 
     delta_begin = delta_end;
     delta_end = instance.size();
+    if (options.use_delta) instance.AdvanceDelta();
   }
 
   result.outcome = ChaseOutcome::kTerminated;

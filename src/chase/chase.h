@@ -59,6 +59,14 @@ struct ChaseOptions {
   /// per-predicate lists only (no (predicate, position, term) index).
   /// Results are identical; only performance differs.
   bool use_position_index = true;
+  /// Ablation switch for the semi-naive engine: when true (default),
+  /// each round matches TGD bodies only against joins containing at
+  /// least one atom from the previous round's delta, seeded through the
+  /// per-predicate delta index and a join order planned from the delta
+  /// atom. When false, every round re-enumerates all homomorphisms from
+  /// the full instance (the naive baseline); the (σ, h) dedup set keeps
+  /// the results byte-identical, only cost differs.
+  bool use_delta = true;
 };
 
 /// Why a chase run stopped.
@@ -80,6 +88,14 @@ struct ChaseStats {
   std::uint64_t rounds = 0;          ///< Breadth-first rounds executed.
   std::uint32_t max_depth = 0;       ///< maxdepth over all created terms.
   std::uint64_t database_atoms = 0;  ///< |D|.
+  /// Delta atoms used as join seeds (semi-naive engine only; stays 0
+  /// when ChaseOptions::use_delta is false).
+  std::uint64_t delta_atoms_scanned = 0;
+  /// Unification attempts of a body/head atom against a candidate
+  /// instance atom, over trigger search and the restricted variant's
+  /// head-satisfaction checks. Counted in both engines — the number
+  /// benches compare across the delta ablation.
+  std::uint64_t join_probes = 0;
 };
 
 /// The result of a chase run: the constructed instance (equal to

@@ -1,7 +1,9 @@
 #include "chase/trigger.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
+#include <unordered_set>
 
 namespace nuchase {
 namespace chase {
@@ -22,10 +24,55 @@ Atom ApplySubstitution(const Atom& atom, const Substitution& h) {
   return out;
 }
 
+std::vector<std::size_t> PlanJoinOrder(const std::vector<Atom>& body,
+                                       std::size_t seed_pos) {
+  std::vector<std::size_t> order;
+  order.reserve(body.size());
+  std::vector<bool> placed(body.size(), false);
+  std::unordered_set<Term> bound;
+
+  auto place = [&](std::size_t i) {
+    order.push_back(i);
+    placed[i] = true;
+    for (Term t : body[i].args) {
+      if (t.IsVariable()) bound.insert(t);
+    }
+  };
+  place(seed_pos);
+
+  while (order.size() < body.size()) {
+    std::size_t best = body.size();
+    std::size_t best_shared = 0;
+    std::size_t best_free = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (placed[i]) continue;
+      std::size_t shared = 0;
+      std::size_t free_vars = 0;
+      for (Term t : body[i].args) {
+        if (!t.IsVariable()) continue;
+        if (bound.count(t)) {
+          ++shared;
+        } else {
+          ++free_vars;
+        }
+      }
+      if (best == body.size() || shared > best_shared ||
+          (shared == best_shared && free_vars < best_free)) {
+        best = i;
+        best_shared = shared;
+        best_free = free_vars;
+      }
+    }
+    place(best);
+  }
+  return order;
+}
+
 bool HomomorphismFinder::Match(const Atom& pattern, const Atom& fact,
                                Substitution* h,
-                               std::vector<Term>* trail) {
+                               std::vector<Term>* trail) const {
   assert(pattern.predicate == fact.predicate);
+  if (probe_counter_ != nullptr) ++*probe_counter_;
   const std::size_t trail_start = trail->size();
   for (std::size_t i = 0; i < pattern.args.size(); ++i) {
     Term p = pattern.args[i];
@@ -85,6 +132,19 @@ void HomomorphismFinder::Enumerate(
   Enumerate(atoms, Substitution{}, -1, 0, cb);
 }
 
+std::size_t HomomorphismFinder::RestrictedCount(
+    std::size_t i, const std::vector<AtomIndex>& candidates) const {
+  if (old_only_ == nullptr || i >= old_only_->size() ||
+      !(*old_only_)[i]) {
+    return candidates.size();
+  }
+  // Candidate lists are ascending in insertion order, so the old atoms
+  // form a prefix.
+  return static_cast<std::size_t>(
+      std::lower_bound(candidates.begin(), candidates.end(), old_limit_) -
+      candidates.begin());
+}
+
 bool HomomorphismFinder::Recurse(
     const std::vector<Atom>& atoms, std::vector<bool>* done,
     std::size_t remaining, Substitution* h,
@@ -102,7 +162,7 @@ bool HomomorphismFinder::Recurse(
     const Atom& a = atoms[i];
     const std::vector<AtomIndex>* candidates =
         &instance_.AtomsWithPredicate(a.predicate);
-    std::size_t count = candidates->size();
+    std::size_t count = RestrictedCount(i, *candidates);
     if (use_position_index_) {
       for (std::uint32_t pos = 0; pos < a.arity(); ++pos) {
         Term t = a.args[pos];
@@ -113,8 +173,9 @@ bool HomomorphismFinder::Recurse(
         }
         const std::vector<AtomIndex>& narrowed =
             instance_.AtomsWithTermAt(a.predicate, pos, t);
-        if (narrowed.size() < count) {
-          count = narrowed.size();
+        std::size_t narrowed_count = RestrictedCount(i, narrowed);
+        if (narrowed_count < count) {
+          count = narrowed_count;
           candidates = &narrowed;
         }
       }
@@ -131,7 +192,8 @@ bool HomomorphismFinder::Recurse(
 
   (*done)[best] = true;
   std::vector<Term> trail;
-  for (AtomIndex idx : *best_candidates) {
+  for (std::size_t c = 0; c < best_count; ++c) {
+    AtomIndex idx = (*best_candidates)[c];
     trail.clear();
     if (!Match(atoms[best], instance_.atom(idx), h, &trail)) continue;
     bool keep_going = Recurse(atoms, done, remaining - 1, h, cb);

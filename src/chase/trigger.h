@@ -18,6 +18,16 @@ using Substitution = std::unordered_map<core::Term, core::Term>;
 /// Applies a substitution to an atom; unbound variables are kept as-is.
 core::Atom ApplySubstitution(const core::Atom& atom, const Substitution& h);
 
+/// Static body-atom reordering for semi-naive (delta-seeded) matching:
+/// returns a permutation of [0, body.size()) that starts with `seed_pos`
+/// and greedily appends the atom sharing the most variables with the
+/// already-placed prefix (ties: fewer unbound variables, then original
+/// order). The enumerator's dynamic most-bound-first selection then uses
+/// this order as its tie-break, so the join grows connected from the
+/// delta atom instead of wandering through cartesian products.
+std::vector<std::size_t> PlanJoinOrder(const std::vector<core::Atom>& body,
+                                       std::size_t seed_pos);
+
 /// Enumerates homomorphisms from a conjunction of atoms (with variables,
 /// and possibly constants/nulls that must match exactly) into an Instance.
 /// This is the join kernel shared by the chase (trigger search,
@@ -31,6 +41,25 @@ class HomomorphismFinder {
   explicit HomomorphismFinder(const core::Instance& instance,
                               bool use_position_index = true)
       : instance_(instance), use_position_index_(use_position_index) {}
+
+  /// When set, every unification attempt of a body atom against a
+  /// candidate instance atom increments *counter (the `join_probes`
+  /// statistic of ChaseStats). The pointer must outlive the finder.
+  void set_probe_counter(std::uint64_t* counter) {
+    probe_counter_ = counter;
+  }
+
+  /// Semi-naive discipline: restricts the atoms flagged in `old_only`
+  /// (aligned with the `atoms` vector passed to Enumerate) to instance
+  /// atoms with index < `old_limit`. Seeding each join from a delta atom
+  /// and keeping the body positions *before* the seed old-only makes
+  /// every homomorphism enumerable from exactly one seed position.
+  /// `old_only` must outlive the finder; pass nullptr to clear.
+  void set_old_restriction(const std::vector<bool>* old_only,
+                           core::AtomIndex old_limit) {
+    old_only_ = old_only;
+    old_limit_ = old_limit;
+  }
 
   /// Calls `cb` once per homomorphism from `atoms` into the instance,
   /// extending `initial` (which may pre-bind variables). If `cb` returns
@@ -53,16 +82,25 @@ class HomomorphismFinder {
   /// Tries to unify `pattern` against the concrete instance atom `fact`,
   /// extending `h`. Returns false (and leaves `h` unchanged modulo the
   /// recorded trail) on mismatch.
-  static bool Match(const core::Atom& pattern, const core::Atom& fact,
-                    Substitution* h, std::vector<core::Term>* trail);
+  bool Match(const core::Atom& pattern, const core::Atom& fact,
+             Substitution* h, std::vector<core::Term>* trail) const;
 
   bool Recurse(const std::vector<core::Atom>& atoms,
                std::vector<bool>* done, std::size_t remaining,
                Substitution* h,
                const std::function<bool(const Substitution&)>& cb) const;
 
+  /// Number of leading candidates in `candidates` (ascending by index)
+  /// that the old-only restriction allows for query atom `i`.
+  std::size_t RestrictedCount(std::size_t i,
+                              const std::vector<core::AtomIndex>& candidates)
+      const;
+
   const core::Instance& instance_;
   bool use_position_index_;
+  std::uint64_t* probe_counter_ = nullptr;
+  const std::vector<bool>* old_only_ = nullptr;
+  core::AtomIndex old_limit_ = 0;
 };
 
 }  // namespace chase

@@ -15,9 +15,27 @@ std::pair<AtomIndex, bool> Instance::Insert(Atom atom) {
   for (std::uint32_t i = 0; i < atom.arity(); ++i) {
     by_position_[PosKey{atom.predicate, i, atom.args[i]}].push_back(idx);
   }
+  if (track_delta_) {
+    delta_next_[atom.predicate].push_back(idx);
+    ++delta_next_size_;
+  }
   index_.emplace(atom, idx);
   atoms_.push_back(std::move(atom));
   return {idx, true};
+}
+
+std::size_t Instance::AdvanceDelta() {
+  delta_curr_ = std::move(delta_next_);
+  delta_curr_size_ = delta_next_size_;
+  delta_next_.clear();
+  delta_next_size_ = 0;
+  return delta_curr_size_;
+}
+
+const std::vector<AtomIndex>& Instance::DeltaAtomsWithPredicate(
+    PredicateId pred) const {
+  auto it = delta_curr_.find(pred);
+  return it == delta_curr_.end() ? kEmpty : it->second;
 }
 
 const std::vector<AtomIndex>& Instance::AtomsWithPredicate(

@@ -46,6 +46,29 @@ class Instance {
   /// All atom indexes with the given predicate (empty if none).
   const std::vector<AtomIndex>& AtomsWithPredicate(PredicateId pred) const;
 
+  /// Turns on the per-predicate delta index used by the semi-naive chase
+  /// engine: every subsequent Insert of a fresh atom is recorded in the
+  /// "next" delta generation until AdvanceDelta() rotates it into the
+  /// current one. Off by default so non-chase users (query evaluation,
+  /// saturation) pay nothing.
+  void EnableDeltaTracking() { track_delta_ = true; }
+  bool delta_tracking_enabled() const { return track_delta_; }
+
+  /// Rotates the delta generations: the atoms inserted since the last
+  /// call become the current delta; the previous current delta is
+  /// discarded. Returns the number of atoms in the new current delta.
+  std::size_t AdvanceDelta();
+
+  /// Atom indexes of the current delta with the given predicate (empty if
+  /// none, or if delta tracking is disabled). Indexes are in insertion
+  /// order, mirroring AtomsWithPredicate restricted to the last
+  /// generation.
+  const std::vector<AtomIndex>& DeltaAtomsWithPredicate(
+      PredicateId pred) const;
+
+  /// Number of atoms in the current delta generation.
+  std::size_t delta_size() const { return delta_curr_size_; }
+
   /// All atom indexes with predicate `pred` and term `t` at position `pos`.
   const std::vector<AtomIndex>& AtomsWithTermAt(PredicateId pred,
                                                 std::uint32_t pos,
@@ -84,6 +107,15 @@ class Instance {
     }
   };
   std::unordered_map<PosKey, std::vector<AtomIndex>, PosKeyHash> by_position_;
+
+  // Two-generation delta index (semi-naive evaluation): fresh inserts
+  // land in delta_next_; AdvanceDelta() rotates next -> curr. Maintained
+  // only when track_delta_ is set.
+  bool track_delta_ = false;
+  std::size_t delta_curr_size_ = 0;
+  std::unordered_map<PredicateId, std::vector<AtomIndex>> delta_curr_;
+  std::unordered_map<PredicateId, std::vector<AtomIndex>> delta_next_;
+  std::size_t delta_next_size_ = 0;
 
   static const std::vector<AtomIndex> kEmpty;
 };

@@ -19,8 +19,11 @@ util::StatusOr<AdvisorReport> Advise(core::SymbolTable* symbols,
   if (report.tgd_class == tgd::TgdClass::kGeneral) {
     // Undecidable in general (Proposition 4.2): best effort via the
     // bounded chase; only termination within budget is a certificate.
+    chase::ChaseOptions engine;
+    engine.use_delta = options.use_delta;
+    engine.use_position_index = options.use_position_index;
     NaiveDecision naive =
-        DecideByChase(symbols, tgds, db, options.max_atoms);
+        DecideByChase(symbols, tgds, db, options.max_atoms, engine);
     report.decision = naive.decision;
     report.method = "bounded-chase";
   } else {
@@ -48,6 +51,8 @@ util::StatusOr<AdvisorReport> Advise(core::SymbolTable* symbols,
   if (options.materialize && report.decision == Decision::kTerminates) {
     chase::ChaseOptions chase_options;
     chase_options.max_atoms = options.max_atoms;
+    chase_options.use_delta = options.use_delta;
+    chase_options.use_position_index = options.use_position_index;
     chase::ChaseResult result =
         chase::RunChase(symbols, tgds, db, chase_options);
     if (!result.Terminated()) {

@@ -39,6 +39,11 @@ struct AdvisorOptions {
   /// Budget for guarded linearization and for the materialization chase.
   std::uint64_t max_types = 100000;
   std::uint64_t max_atoms = 10'000'000;
+  /// Chase-engine switches, forwarded to every chase the advisor runs
+  /// (the bounded-chase fallback and the materialization). See
+  /// chase::ChaseOptions.
+  bool use_delta = true;
+  bool use_position_index = true;
 };
 
 /// Classifies Σ, picks the worst-case-optimal syntactic decider for its

@@ -25,14 +25,20 @@ const char* DecisionName(Decision d) {
 NaiveDecision DecideByChase(core::SymbolTable* symbols,
                             const tgd::TgdSet& tgds,
                             const core::Database& db,
-                            std::uint64_t hard_atom_cap) {
+                            std::uint64_t hard_atom_cap,
+                            const chase::ChaseOptions& engine) {
   NaiveDecision out;
   tgd::TgdClass clazz = tgd::Classify(tgds);
   out.depth_bound = DepthBound(clazz, tgds, *symbols);
   out.size_bound =
       static_cast<double>(db.size()) * SizeFactor(clazz, tgds, *symbols);
 
+  // Engine switches are caller-configurable; the decision-relevant
+  // fields below (variant, budgets) belong to the procedure.
   chase::ChaseOptions options;
+  options.use_delta = engine.use_delta;
+  options.use_position_index = engine.use_position_index;
+  options.variant = chase::ChaseVariant::kSemiOblivious;
   // Depth budget: exceeding d_C(Σ) certifies non-termination
   // (Lemmas 6.2 / 7.4 / 8.2 via Theorems 6.4 / 7.5 / 8.3).
   bool depth_budget_exact = false;

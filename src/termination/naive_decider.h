@@ -46,10 +46,14 @@ struct NaiveDecision {
 ///     exceeds |D|·f_C(Σ) atoms;
 ///   - report kUnknown when only the hard practical cap stopped the run
 ///     (possible for guarded sets, whose bounds overflow quickly).
+/// `engine` carries the chase-engine switches (use_delta,
+/// use_position_index) into the bounded runs; the decision-relevant
+/// fields (variant, budgets) are owned by the procedure and overridden.
 NaiveDecision DecideByChase(core::SymbolTable* symbols,
                             const tgd::TgdSet& tgds,
                             const core::Database& db,
-                            std::uint64_t hard_atom_cap = 10'000'000);
+                            std::uint64_t hard_atom_cap = 10'000'000,
+                            const chase::ChaseOptions& engine = {});
 
 }  // namespace termination
 }  // namespace nuchase

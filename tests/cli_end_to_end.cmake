@@ -1,10 +1,13 @@
 # End-to-end test for tools/nuchase_cli, run via
-#   cmake -DNUCHASE_CLI=<exe> -DWORK_DIR=<dir> -P cli_end_to_end.cmake
-# Drives classify/decide/chase/rewrite on the quickstart ontology and
-# asserts on exit codes and key output lines.
+#   cmake -DNUCHASE_CLI=<exe> -DWORK_DIR=<dir> -DREPO_DIR=<src>
+#         -P cli_end_to_end.cmake
+# Drives classify/decide/chase/rewrite on the quickstart ontology,
+# asserts on exit codes and key output lines, and compares the
+# examples/programs/ outputs byte-for-byte against tests/golden/ so
+# engine refactors cannot silently change results.
 
-if(NOT NUCHASE_CLI OR NOT WORK_DIR)
-  message(FATAL_ERROR "NUCHASE_CLI and WORK_DIR must be set")
+if(NOT NUCHASE_CLI OR NOT WORK_DIR OR NOT REPO_DIR)
+  message(FATAL_ERROR "NUCHASE_CLI, WORK_DIR and REPO_DIR must be set")
 endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
@@ -69,5 +72,63 @@ execute_process(
 if(rc EQUAL 0)
   message(FATAL_ERROR "classify on a missing file must not exit 0")
 endif()
+
+# ---------------------------------------------------------------------
+# Golden-file checks over examples/programs/: every committed program's
+# classify/decide/chase output must match tests/golden/ exactly.
+
+# run_golden(<program.tgd> <golden-file> <expected-rc> <arg>...)
+function(run_golden program golden expected_rc)
+  execute_process(
+      COMMAND "${NUCHASE_CLI}" ${ARGN} "${REPO_DIR}/examples/programs/${program}"
+      OUTPUT_VARIABLE stdout
+      ERROR_VARIABLE stderr
+      RESULT_VARIABLE rc)
+  if(NOT rc EQUAL expected_rc)
+    message(FATAL_ERROR
+        "golden ${golden}: nuchase ${ARGN} ${program} exited ${rc}, "
+        "expected ${expected_rc}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+  endif()
+  file(READ "${REPO_DIR}/tests/golden/${golden}" expected)
+  if(NOT stdout STREQUAL expected)
+    message(FATAL_ERROR
+        "golden mismatch for ${golden} (nuchase ${ARGN} ${program}).\n"
+        "--- expected ---\n${expected}\n--- got ---\n${stdout}\n"
+        "If the change is intentional, regenerate tests/golden/ (see "
+        "README, Benchmarks) and commit the diff.")
+  endif()
+endfunction()
+
+foreach(prog quickstart data_exchange datalog_tc)
+  run_golden(${prog}.tgd ${prog}_classify.txt 0 classify)
+  run_golden(${prog}.tgd ${prog}_decide.txt 0 decide)
+  run_golden(${prog}.tgd ${prog}_chase.txt 0 chase --print)
+endforeach()
+run_golden(witness_race.tgd witness_race_classify.txt 0 classify)
+run_golden(witness_race.tgd witness_race_decide.txt 1 decide)
+run_golden(witness_race.tgd witness_race_chase.txt 0
+    chase --variant=restricted --print)
+
+# Ablation purity: the full-scan engine must materialize the identical
+# instance; only the engine/joins stat lines may differ.
+function(strip_engine_lines text out_var)
+  string(REGEX REPLACE "engine:[^\n]*\n" "" text "${text}")
+  string(REGEX REPLACE "joins:[^\n]*\n" "" text "${text}")
+  set(${out_var} "${text}" PARENT_SCOPE)
+endfunction()
+
+foreach(prog quickstart data_exchange datalog_tc)
+  run_cli(delta_on 0 chase --print
+      "${REPO_DIR}/examples/programs/${prog}.tgd")
+  run_cli(delta_off 0 chase --print --no-delta --no-position-index
+      "${REPO_DIR}/examples/programs/${prog}.tgd")
+  strip_engine_lines("${delta_on}" delta_on)
+  strip_engine_lines("${delta_off}" delta_off)
+  if(NOT delta_on STREQUAL delta_off)
+    message(FATAL_ERROR
+        "${prog}: delta and full-scan engines disagree.\n"
+        "--- delta on ---\n${delta_on}\n--- delta off ---\n${delta_off}")
+  endif()
+endforeach()
 
 message(STATUS "cli_end_to_end: all checks passed")

@@ -157,6 +157,21 @@ TEST(ParserRobustnessTest, GarbageYieldsStatusNotCrash) {
                                 // variable-only by convention; the
                                 // identifiers parse as variables, so
                                 // this one is accepted
+      "R(x, y) -> S(x)",        // unterminated rule (no '.')
+      "R(x, y) -> S(x), ",      // rule trailing off after a comma
+      "R(x, y) -> ",            // arrow into EOF
+      "R(x y) -> S(x).",        // missing comma between args
+      "R(x, y) R(y, z) -> S(x).",  // missing comma between atoms
+      "R(x, y) -> -> S(x).",    // double arrow
+      "R(x, y) -> S().",        // empty argument list in head
+      "R(). ",                  // empty argument list in fact
+      "R(x, y) -> S(x). Q(a, b). Q(a, b, c).",  // late arity clash
+      "R(x, y) -> Q(x). Q(a, b).",  // rule/fact arity clash
+      ".",                      // stray period
+      "....",                   // periods only
+      "(a, b).",                // missing predicate name
+      "R(a, b)) .",             // unbalanced parens
+      "R((a, b).",              // nested open paren
   };
   for (const char* text : cases) {
     core::SymbolTable symbols;
@@ -171,6 +186,59 @@ TEST(ParserRobustnessTest, GarbageYieldsStatusNotCrash) {
   EXPECT_FALSE(tgd::ParseProgram(&symbols, "-> S(x).").ok());
   EXPECT_FALSE(
       tgd::ParseProgram(&symbols, "Q(a, b). Q(a).").ok());  // arity
+}
+
+TEST(ParserRobustnessTest, MalformedRulesYieldStatusWithMessage) {
+  // The classes of damage the CLI is most likely to meet in hand-edited
+  // .tgd files: unterminated rules, arity mismatches, empty heads. Each
+  // must produce a non-ok Status carrying a non-empty message — never a
+  // crash, never a silent success.
+  const char* must_fail[] = {
+      "R(x, y) -> S(x)",               // unterminated rule
+      "R(x, y) -> ",                   // arrow into EOF
+      "R(x, y) ->.",                   // empty head
+      "R(a, b). R(x) -> S(x).",        // body arity != fact arity
+      "R(x, y) -> S(x). S(a, b).",     // head arity != fact arity
+      "R(x, y) -> S(x), T(x, y",       // truncated multi-atom head
+      "R(x y) -> S(x).",               // missing comma
+      "R(x, y) R(y, z) -> S(x).",      // missing comma between atoms
+  };
+  for (const char* text : must_fail) {
+    core::SymbolTable symbols;
+    auto p = tgd::ParseProgram(&symbols, text);
+    ASSERT_FALSE(p.ok()) << "accepted malformed input: " << text;
+    EXPECT_FALSE(p.status().ToString().empty()) << text;
+  }
+}
+
+TEST(ParserRobustnessTest, PathologicalInputsDoNotCrash) {
+  core::SymbolTable symbols;
+  // Deeply repetitive and oversized inputs: the parser must stay
+  // iterative / bounded, returning ok or a Status either way.
+  std::string many_facts;
+  for (int i = 0; i < 5000; ++i) {
+    many_facts += "R(c" + std::to_string(i) + ", c" +
+                  std::to_string(i + 1) + ").\n";
+  }
+  EXPECT_TRUE(tgd::ParseProgram(&symbols, many_facts).ok());
+
+  std::string long_body = "R(x0, x1)";
+  for (int i = 1; i < 500; ++i) {
+    long_body += ", R(x" + std::to_string(i) + ", x" +
+                 std::to_string(i + 1) + ")";
+  }
+  long_body += " -> S(x0).";
+  EXPECT_TRUE(tgd::ParseProgram(&symbols, long_body).ok());
+
+  std::string opens(10000, '(');
+  EXPECT_FALSE(tgd::ParseProgram(&symbols, "R" + opens).ok());
+
+  std::string no_newline(65536, 'a');
+  auto p = tgd::ParseProgram(&symbols, no_newline);
+  (void)p;  // ok or error; must not crash
+
+  EXPECT_FALSE(tgd::ParseProgram(&symbols, "R(x, y) -> S(x)\n"
+                                           "Q(a).").ok());
 }
 
 TEST(ParserRobustnessTest, CommentsAndWhitespace) {

@@ -49,6 +49,9 @@ int Usage(const char* argv0) {
                "  --variant=semi-oblivious|oblivious|restricted  (chase)\n"
                "  --max-atoms=N     chase atom budget (default 1000000)\n"
                "  --print           also print the materialized atoms\n"
+               "  --no-delta        full-scan trigger search (ablation)\n"
+               "  --no-position-index  join without the per-position "
+               "index\n"
                "  --ucq             decide via the data-complexity UCQ\n"
                "  --naive           decide via the bounded chase\n"
                "  --mode=simplify|linearize|gsimple   (rewrite)\n",
@@ -64,6 +67,8 @@ struct Options {
   bool print_atoms = false;
   bool use_ucq = false;
   bool use_naive = false;
+  bool use_delta = true;
+  bool use_position_index = true;
   std::string mode = "simplify";
 };
 
@@ -78,6 +83,10 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       out->use_ucq = true;
     } else if (arg == "--naive") {
       out->use_naive = true;
+    } else if (arg == "--no-delta") {
+      out->use_delta = false;
+    } else if (arg == "--no-position-index") {
+      out->use_position_index = false;
     } else if (arg.rfind("--variant=", 0) == 0) {
       std::string v = arg.substr(10);
       if (v == "semi-oblivious") {
@@ -158,15 +167,21 @@ int Decide(core::SymbolTable* symbols, const tgd::Program& p,
     return *d == termination::Decision::kTerminates ? 0 : 1;
   }
   if (options.use_naive) {
+    chase::ChaseOptions engine;
+    engine.use_delta = options.use_delta;
+    engine.use_position_index = options.use_position_index;
     termination::NaiveDecision d = termination::DecideByChase(
-        symbols, p.tgds, p.database, options.max_atoms);
+        symbols, p.tgds, p.database, options.max_atoms, engine);
     std::printf("%s (via bounded chase: %llu atoms, maxdepth %u)\n",
                 termination::DecisionName(d.decision),
                 static_cast<unsigned long long>(d.atoms), d.max_depth);
     return d.decision == termination::Decision::kTerminates ? 0 : 1;
   }
-  auto report = termination::Advise(symbols, p.tgds, p.database,
-                                    {.materialize = false});
+  termination::AdvisorOptions aopt;
+  aopt.materialize = false;
+  aopt.use_delta = options.use_delta;
+  aopt.use_position_index = options.use_position_index;
+  auto report = termination::Advise(symbols, p.tgds, p.database, aopt);
   if (!report.ok()) {
     std::fprintf(stderr, "decider: %s\n",
                  report.status().ToString().c_str());
@@ -184,8 +199,14 @@ int Chase(core::SymbolTable* symbols, const tgd::Program& p,
   chase::ChaseOptions copt;
   copt.variant = options.variant;
   copt.max_atoms = options.max_atoms;
+  copt.use_delta = options.use_delta;
+  copt.use_position_index = options.use_position_index;
   chase::ChaseResult r = chase::RunChase(symbols, p.tgds, p.database, copt);
   std::printf("variant:    %s\n", chase::ChaseVariantName(options.variant));
+  std::printf("engine:     %s, %s\n",
+              copt.use_delta ? "delta (semi-naive)" : "full-scan",
+              copt.use_position_index ? "position-indexed"
+                                      : "predicate-scan");
   std::printf("outcome:    %s\n", chase::ChaseOutcomeName(r.outcome));
   std::printf("atoms:      %zu (|D| = %zu)\n", r.instance.size(),
               p.database.size());
@@ -195,6 +216,9 @@ int Chase(core::SymbolTable* symbols, const tgd::Program& p,
               static_cast<unsigned long long>(r.stats.triggers_satisfied));
   std::printf("rounds:     %llu\n",
               static_cast<unsigned long long>(r.stats.rounds));
+  std::printf("joins:      %llu probes, %llu delta seeds\n",
+              static_cast<unsigned long long>(r.stats.join_probes),
+              static_cast<unsigned long long>(r.stats.delta_atoms_scanned));
   if (options.print_atoms) {
     std::printf("%s", r.instance.ToSortedString(*symbols).c_str());
   }
