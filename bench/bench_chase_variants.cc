@@ -7,6 +7,7 @@
 // that separate the levels.
 #include "bench/bench_util.h"
 #include "chase/chase.h"
+#include "nuchase/nuchase.h"
 #include "tgd/parser.h"
 #include "workload/random_tgds.h"
 
@@ -206,6 +207,89 @@ void Hierarchy() {
   bench::PrintTable(table);
 }
 
+/// The facade's parse-once / run-many split, measured: N chases of the
+/// same program, either re-parsing (and re-classifying, re-planning) the
+/// text for every run — the pre-facade CLI pattern — or parsing one
+/// api::Program and running N cheap sessions against it. The chase
+/// itself is identical, so the gap is pure front-half overhead.
+void ProgramReuse() {
+  util::Table table(
+      "program reuse: re-parse per run vs parse-once + N sessions",
+      {"workload", "|D|", "runs", "reparse(s)", "reuse(s)", "speedup",
+       "same result"});
+
+  struct Workload {
+    const char* label;
+    std::uint64_t facts;
+  };
+  for (const Workload& w : {Workload{"emp-mgr", 200},
+                            Workload{"emp-mgr", 2000}}) {
+    // The program text is re-built once; only parsing is measured.
+    std::string text =
+        "Emp(e, d) -> Dept(d). Emp(e, d) -> Mgr(d, m). "
+        "Mgr(d, m) -> Emp(m, d).\n";
+    for (std::uint64_t i = 0; i < w.facts; ++i) {
+      text += "Emp(e" + std::to_string(i) + ", d" +
+              std::to_string(i % 10) + ").\n";
+    }
+    const int kRuns = 25;
+
+    // Arm A: the pre-facade pattern — parse, classify and join-plan the
+    // text again for every single run.
+    bench::Stopwatch reparse_timer;
+    std::string reparse_sorted;
+    bool reparse_ok = true;
+    for (int i = 0; i < kRuns; ++i) {
+      auto program = api::Program::Parse(text);
+      if (!program.ok()) {
+        reparse_ok = false;
+        break;
+      }
+      auto run = api::Session(*program).Chase();
+      if (!run.ok() || !run->Terminated()) {
+        reparse_ok = false;
+        break;
+      }
+      reparse_sorted = run->ToSortedString();
+    }
+    double reparse_seconds = reparse_timer.Seconds();
+
+    // Arm B: parse once, then N sessions over the frozen artifact.
+    bench::Stopwatch reuse_timer;
+    std::string reuse_sorted;
+    bool reuse_ok = true;
+    auto program = api::Program::Parse(text);
+    if (!program.ok()) {
+      reuse_ok = false;
+    } else {
+      for (int i = 0; i < kRuns; ++i) {
+        auto run = api::Session(*program).Chase();
+        if (!run.ok() || !run->Terminated()) {
+          reuse_ok = false;
+          break;
+        }
+        reuse_sorted = run->ToSortedString();
+      }
+    }
+    double reuse_seconds = reuse_timer.Seconds();
+
+    if (!reparse_ok || !reuse_ok) {
+      table.AddRow({w.label, std::to_string(w.facts),
+                    std::to_string(kRuns), "error", "error", "-", "NO"});
+      continue;
+    }
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  reuse_seconds > 0 ? reparse_seconds / reuse_seconds
+                                    : 0.0);
+    table.AddRow({w.label, std::to_string(w.facts), std::to_string(kRuns),
+                  bench::FormatSeconds(reparse_seconds),
+                  bench::FormatSeconds(reuse_seconds), speedup,
+                  reparse_sorted == reuse_sorted ? "yes" : "NO"});
+  }
+  bench::PrintTable(table);
+}
+
 }  // namespace
 }  // namespace nuchase
 
@@ -217,5 +301,6 @@ int main() {
   nuchase::Sizes();
   nuchase::DeltaAblation();
   nuchase::Hierarchy();
+  nuchase::ProgramReuse();
   return 0;
 }

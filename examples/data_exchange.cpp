@@ -1,4 +1,4 @@
-// Data exchange with the semi-oblivious chase.
+// Data exchange with the semi-oblivious chase, on the facade.
 //
 // The chase was repurposed by Fagin et al. [14] to compute *universal
 // solutions* for data-exchange settings: given a source database and
@@ -11,16 +11,12 @@
 //   ./build/examples/data_exchange
 #include <iostream>
 
-#include "chase/chase.h"
 #include "graph/weak_acyclicity.h"
-#include "termination/syntactic_decider.h"
-#include "tgd/parser.h"
+#include "nuchase/nuchase.h"
 
 using namespace nuchase;
 
 int main() {
-  core::SymbolTable symbols;
-
   // Source schema: Route(from, to), Hub(city).
   // Target schema: Flight(from, to, carrier), Serves(carrier, city).
   // The last mapping rule is recursive on the target: every partner city
@@ -37,15 +33,15 @@ int main() {
       "Hub(lhr).\n";
 
   auto program =
-      tgd::ParseProgram(&symbols, std::string(mapping_text) + source_text);
+      api::Program::Parse(std::string(mapping_text) + source_text);
   if (!program.ok()) {
     std::cerr << program.status().ToString() << "\n";
     return 1;
   }
 
   // Uniform check (Fagin et al.): rejected — there is a special cycle.
-  bool uniform =
-      graph::IsUniformlyWeaklyAcyclic(program->tgds, symbols);
+  bool uniform = graph::IsUniformlyWeaklyAcyclic(program->tgds(),
+                                                 program->symbols());
   std::cout << "uniformly weakly-acyclic: " << (uniform ? "yes" : "no")
             << "  (classic data-exchange tools would refuse this mapping)\n";
 
@@ -53,28 +49,34 @@ int main() {
   // Partner, so the special cycle is not D-supported and the chase is
   // guaranteed finite for THIS source.
   graph::WeakAcyclicityResult wa = graph::CheckWeakAcyclicity(
-      program->tgds, program->database, symbols);
+      program->tgds(), program->database(), program->symbols());
   std::cout << "weakly-acyclic w.r.t. this source: "
             << (wa.weakly_acyclic ? "yes" : "no") << "\n\n";
 
-  // Compute the universal solution.
-  chase::ChaseResult solution =
-      chase::RunChase(&symbols, program->tgds, program->database);
-  std::cout << "universal solution (" << solution.instance.size()
+  // Compute the universal solution through a session; the invented
+  // witnesses (labelled nulls) live in the run, not in the program.
+  auto solution = api::Session(*program).Chase();
+  if (!solution.ok()) {
+    std::cerr << "chase error: " << solution.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "universal solution (" << solution->instance().size()
             << " atoms, outcome "
-            << chase::ChaseOutcomeName(solution.outcome) << "):\n"
-            << solution.instance.ToSortedString(symbols) << "\n";
+            << chase::ChaseOutcomeName(solution->outcome()) << "):\n"
+            << solution->ToSortedString() << "\n";
 
   // A poisoned source: one Partner fact supports the special cycle, and
   // the same mapping must now be rejected — before wasting any chase
   // work. (The paper's point: termination is a property of the *pair*
   // (D, Sigma).)
-  core::SymbolTable symbols2;
-  auto poisoned = tgd::ParseProgram(
-      &symbols2, std::string(mapping_text) + source_text +
-                     "Partner(lhr, ams).\n");
+  auto poisoned = api::Program::Parse(std::string(mapping_text) +
+                                      source_text + "Partner(lhr, ams).\n");
+  if (!poisoned.ok()) {
+    std::cerr << poisoned.status().ToString() << "\n";
+    return 1;
+  }
   graph::WeakAcyclicityResult wa2 = graph::CheckWeakAcyclicity(
-      poisoned->tgds, poisoned->database, symbols2);
+      poisoned->tgds(), poisoned->database(), poisoned->symbols());
   std::cout << "with Partner(lhr, ams) added, weakly-acyclic: "
             << (wa2.weakly_acyclic ? "yes" : "no")
             << " -> reject materialization, no chase attempted\n";

@@ -1,4 +1,4 @@
-// OBDA materialization advisor — the Section 1 use case.
+// OBDA materialization advisor — the Section 1 use case, on the facade.
 //
 // Ontology-based data access wants to answer queries over a database D
 // *enriched* by an ontology Sigma. The cheapest strategy is
@@ -12,9 +12,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "nuchase/nuchase.h"
 #include "query/certain.h"
-#include "termination/advisor.h"
-#include "tgd/parser.h"
 
 using namespace nuchase;
 
@@ -36,20 +35,21 @@ const char* kOntology =
     "Assigned(p, e, d), Staff(d) -> Consult(p, d).\n"
     "FollowUp(e) -> Episode(e, p2), FollowUp(p2).\n";
 
-void Report(const char* hospital, const util::StatusOr<
-                termination::AdvisorReport>& report) {
+void Report(const char* hospital,
+            const util::StatusOr<api::AdviseResult>& result) {
   std::cout << "--- " << hospital << " ---\n";
-  if (!report.ok()) {
-    std::cout << "advisor error: " << report.status().ToString() << "\n";
+  if (!result.ok()) {
+    std::cout << "advisor error: " << result.status().ToString() << "\n";
     return;
   }
-  std::cout << "class " << tgd::TgdClassName(report->tgd_class)
-            << ", decision " << termination::DecisionName(report->decision)
-            << " via " << report->method << "\n";
+  const termination::AdvisorReport& report = result->report();
+  std::cout << "class " << tgd::TgdClassName(report.tgd_class)
+            << ", decision " << termination::DecisionName(report.decision)
+            << " via " << report.method << "\n";
   std::printf("guaranteed |chase| <= %.4g, maxdepth <= %.4g\n",
-              report->size_bound, report->depth_bound);
-  if (report->materialization.has_value()) {
-    const chase::ChaseResult& m = *report->materialization;
+              report.size_bound, report.depth_bound);
+  if (result->has_materialization()) {
+    const chase::ChaseResult& m = *report.materialization;
     std::cout << "materialized " << m.instance.size() << " atoms (maxdepth "
               << m.stats.max_depth << ") -> safe to hand to an RDBMS\n";
   } else {
@@ -66,26 +66,31 @@ int main() {
   // exactly the non-uniform phenomenon: Sigma alone is *not* uniformly
   // terminating, yet Sigma in CT_D for this D.
   {
-    core::SymbolTable symbols;
-    auto program = tgd::ParseProgram(
-        &symbols, std::string(kOntology) +
-                      "Finding(ann, fracture).\n"
-                      "Finding(bea, asthma).\n"
-                      "Finding(carl, fracture).\n");
-    Report("Hospital A (findings only)",
-           termination::Advise(&symbols, program->tgds, program->database));
+    auto program = api::Program::Parse(
+        std::string(kOntology) + "Finding(ann, fracture).\n"
+                                 "Finding(bea, asthma).\n"
+                                 "Finding(carl, fracture).\n");
+    if (!program.ok()) {
+      std::cerr << program.status().ToString() << "\n";
+      return 1;
+    }
+    api::Session session(*program);
+    Report("Hospital A (findings only)", session.Advise());
 
     // The payoff: ontological query answering over the materialization.
     // "Which patients certainly have an examination?" — no Exam fact is
-    // stored; all three answers are inferred.
+    // stored; all three answers are inferred. The query machinery
+    // interns variables, so it runs on a session-private copy of the
+    // program's frozen table.
+    core::SymbolTable symbols = program->symbols();
     core::Term patient = symbols.InternVariable("qp");
     core::Term exam = symbols.InternVariable("qe");
-    auto exam_pred = symbols.FindPredicate("Exam");
+    auto exam_pred = program->FindPredicate("Exam");
     if (exam_pred.ok()) {
       query::AnswerQuery q{{core::Atom(*exam_pred, {patient, exam})},
                            {patient}};
-      auto answers = query::CertainAnswers(&symbols, program->tgds,
-                                           program->database, q);
+      auto answers = query::CertainAnswers(&symbols, program->tgds(),
+                                           program->database(), q);
       if (answers.ok()) {
         std::cout << "certain answers to " << q.ToString(symbols) << ": ";
         for (const auto& tuple : *answers) {
@@ -100,13 +105,15 @@ int main() {
   // advisor proves it syntactically (gsimple(Sigma) has a
   // gsimple(D)-supported special cycle) without chasing at all.
   {
-    core::SymbolTable symbols;
-    auto program = tgd::ParseProgram(
-        &symbols, std::string(kOntology) +
-                      "Finding(dora, flu).\n"
-                      "FollowUp(visit1).\n");
+    auto program = api::Program::Parse(
+        std::string(kOntology) + "Finding(dora, flu).\n"
+                                 "FollowUp(visit1).\n");
+    if (!program.ok()) {
+      std::cerr << program.status().ToString() << "\n";
+      return 1;
+    }
     Report("Hospital B (has follow-up seeds)",
-           termination::Advise(&symbols, program->tgds, program->database));
+           api::Session(*program).Advise());
   }
   return 0;
 }

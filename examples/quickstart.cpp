@@ -1,5 +1,6 @@
-// Quickstart: parse a program (facts + TGDs), ask whether its
-// semi-oblivious chase terminates, run the chase, and inspect the result.
+// Quickstart: parse a program (facts + TGDs) once into an immutable
+// api::Program, then run decisions and chases through cheap
+// api::Session handles — the facade's parse-once / run-many split.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -7,17 +8,27 @@
 #include <cstdio>
 #include <iostream>
 
-#include "chase/chase.h"
-#include "termination/bounds.h"
-#include "termination/syntactic_decider.h"
+#include "nuchase/nuchase.h"
 #include "tgd/classify.h"
-#include "tgd/parser.h"
 
 using namespace nuchase;
 
-int main() {
-  core::SymbolTable symbols;
+namespace {
 
+// Observability: the chase reports round/fire progress to any
+// api::ChaseObserver; this one prints one line per breadth-first round.
+class PrintingObserver : public api::ChaseObserver {
+ public:
+  void OnRound(const api::RoundProgress& p) override {
+    std::printf("  round %llu: %zu atoms, %zu delta seeds\n",
+                static_cast<unsigned long long>(p.round), p.atoms,
+                p.delta_atoms);
+  }
+};
+
+}  // namespace
+
+int main() {
   // A tiny ontology: every employee works in a department, every
   // department has a manager, and managers are employees of the same
   // department. Guarded, and (for this database) terminating.
@@ -30,51 +41,66 @@ int main() {
       "Dept(d) -> Mgr(d, m).\n"
       "Mgr(d, m) -> Emp(m, d).\n";
 
-  auto program = tgd::ParseProgram(&symbols, program_text);
+  // Parse + validate + classify + join-plan, exactly once.
+  auto program = api::Program::Parse(program_text);
   if (!program.ok()) {
     std::cerr << "parse error: " << program.status().ToString() << "\n";
     return 1;
   }
 
-  std::cout << "Sigma has " << program->tgds.size() << " TGDs; class "
-            << tgd::TgdClassName(tgd::Classify(program->tgds)) << "; |D| = "
-            << program->database.size() << "\n\n";
+  std::cout << "Sigma has " << program->rule_count() << " TGDs; class "
+            << tgd::TgdClassName(program->tgd_class()) << "; |D| = "
+            << program->fact_count() << "\n\n";
 
   // 1. Decide termination syntactically (Theorems 6.4 / 7.5 / 8.3):
   //    no chase needed, worst-case-optimal complexity.
-  auto decision =
-      termination::Decide(&symbols, program->tgds, program->database);
+  api::Session session(*program);
+  auto decision = session.Decide();
   if (!decision.ok()) {
     std::cerr << "decider error: " << decision.status().ToString() << "\n";
     return 1;
   }
   std::cout << "ChTrm decision: "
-            << termination::DecisionName(decision->decision) << " (via class "
-            << tgd::TgdClassName(decision->used_class) << ")\n";
+            << termination::DecisionName(decision->decision) << " (class "
+            << tgd::TgdClassName(decision->tgd_class) << ", via "
+            << decision->method << ")\n";
 
-  // 2. The paper's guarantees: maxdepth <= d_C(Sigma) and
-  //    |chase(D,Sigma)| <= |D| * f_C(Sigma) whenever the chase is finite.
-  tgd::TgdClass clazz = tgd::Classify(program->tgds);
+  // 2. The paper's guarantees, precomputed by the Program: maxdepth <=
+  //    d_C(Sigma) and |chase(D,Sigma)| <= |D| * f_C(Sigma) whenever the
+  //    chase is finite.
   std::printf("guarantees: maxdepth <= %.0f, |chase| <= %zu * %.3g\n\n",
-              termination::DepthBound(clazz, program->tgds, symbols),
-              program->database.size(),
-              termination::SizeFactor(clazz, program->tgds, symbols));
+              program->depth_bound(), program->fact_count(),
+              program->size_factor());
 
-  // 3. Materialize chase(D, Sigma) and print it.
-  chase::ChaseResult result =
-      chase::RunChase(&symbols, program->tgds, program->database);
-  std::cout << "chase outcome: " << chase::ChaseOutcomeName(result.outcome)
-            << "; " << result.instance.size() << " atoms; maxdepth "
-            << result.stats.max_depth << "; " << result.stats.triggers_fired
+  // 3. Materialize chase(D, Sigma), watching the rounds go by, and
+  //    print it. The run's fresh nulls live in the session's private
+  //    overlay, so the shared Program stays frozen.
+  PrintingObserver observer;
+  api::Session observed(*program,
+                        api::SessionOptions().set_observer(&observer));
+  auto run = observed.Chase();
+  if (!run.ok()) {
+    std::cerr << "chase error: " << run.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "chase outcome: " << chase::ChaseOutcomeName(run->outcome())
+            << "; " << run->instance().size() << " atoms; maxdepth "
+            << run->stats().max_depth << "; " << run->stats().triggers_fired
             << " triggers fired\n\n";
-  std::cout << result.instance.ToSortedString(symbols) << "\n";
+  std::cout << run->ToSortedString() << "\n";
 
   // 4. A non-terminating variant: drop the guardedness of the cycle.
-  core::SymbolTable symbols2;
-  auto looping = tgd::ParseProgram(
-      &symbols2, "R(a, b). R(x, y) -> R(y, z).");
-  auto d2 = termination::Decide(&symbols2, looping->tgds,
-                                looping->database);
+  //    Parsing it is a fresh Program; the first one is untouched.
+  auto looping = api::Program::Parse("R(a, b). R(x, y) -> R(y, z).");
+  if (!looping.ok()) {
+    std::cerr << "parse error: " << looping.status().ToString() << "\n";
+    return 1;
+  }
+  auto d2 = api::Session(*looping).Decide();
+  if (!d2.ok()) {
+    std::cerr << "decider error: " << d2.status().ToString() << "\n";
+    return 1;
+  }
   std::cout << "Section 3's R(x,y) -> \xE2\x88\x83z R(y,z) over {R(a,b)}: "
             << termination::DecisionName(d2->decision) << "\n";
   return 0;

@@ -6,13 +6,14 @@
 // chase(D_M, Sigma*) is finite iff M halts on the empty input
 // (Proposition 4.2). This example materializes the construction: it runs
 // machines both directly and through the chase, and shows the two
-// agreeing step for step.
+// agreeing step for step. Each machine's (D_M, Sigma*) pair becomes an
+// api::Program built from the workload generator's parts.
 //
 //   ./build/examples/turing_chase
 #include <cstdio>
 #include <iostream>
 
-#include "chase/chase.h"
+#include "nuchase/nuchase.h"
 #include "tgd/classify.h"
 #include "workload/turing.h"
 
@@ -25,6 +26,13 @@ void RunMachine(const char* label, const workload::TuringMachine& tm,
   core::SymbolTable symbols;
   workload::Workload w =
       workload::MakeTuringWorkload(&symbols, tm, label);
+  // Freeze the generated workload into an immutable Program.
+  auto program = api::Program::Create(std::move(symbols), std::move(w.tgds),
+                                      std::move(w.database));
+  if (!program.ok()) {
+    std::cerr << program.status().ToString() << "\n";
+    return;
+  }
 
   std::optional<std::uint64_t> steps = workload::SimulateTm(tm, 10'000);
   std::cout << "--- " << label << " ---\n";
@@ -33,17 +41,20 @@ void RunMachine(const char* label, const workload::TuringMachine& tm,
                       : "still running after 10000 steps")
             << "\n";
 
-  chase::ChaseOptions options;
-  options.max_atoms = atom_budget;
-  chase::ChaseResult r =
-      chase::RunChase(&symbols, w.tgds, w.database, options);
+  api::Session session(
+      *program, api::SessionOptions().set_max_atoms(atom_budget));
+  auto r = session.Chase();
+  if (!r.ok()) {
+    std::cerr << "chase error: " << r.status().ToString() << "\n";
+    return;
+  }
   std::cout << "chase(D_M, Sigma*): "
-            << chase::ChaseOutcomeName(r.outcome) << " with "
-            << r.instance.size() << " atoms (|D_M| = "
-            << w.database.size() << ", budget " << atom_budget << ")\n";
-  if (steps && r.Terminated()) {
+            << chase::ChaseOutcomeName(r->outcome()) << " with "
+            << r->instance().size() << " atoms (|D_M| = "
+            << program->fact_count() << ", budget " << atom_budget << ")\n";
+  if (steps && r->Terminated()) {
     std::cout << "  -> agreement: halting machine, finite chase\n";
-  } else if (!steps && !r.Terminated()) {
+  } else if (!steps && !r->Terminated()) {
     std::cout << "  -> agreement: looping machine, chase exceeds any "
                  "budget\n";
   } else {

@@ -3,61 +3,72 @@
 // A registrar database stores raw Reg(student, course, dept) records and
 // staff lists; an EL-style guarded ontology derives enrollment, advising
 // and teaching roles, inventing witnesses (advisors, taught courses)
-// where the data is incomplete. The walkthrough: check termination
-// syntactically, materialize, answer certain-answer queries, and show
-// the same ontology rejected the moment the thesis-review rule meets a
-// database that feeds it.
+// where the data is incomplete. The walkthrough: freeze the generated
+// workload into an api::Program, check termination syntactically,
+// materialize, answer certain-answer queries, and show the same
+// ontology rejected the moment the thesis-review rule meets a database
+// that feeds it.
 //
 //   ./build/examples/university
 #include <cstdio>
 #include <iostream>
 
-#include "chase/chase.h"
+#include "nuchase/nuchase.h"
 #include "query/certain.h"
-#include "termination/advisor.h"
 #include "workload/university.h"
 
 using namespace nuchase;
 
 int main() {
   // --- A mid-size university ------------------------------------------
-  core::SymbolTable symbols;
+  core::SymbolTable build_symbols;
   workload::UniversityOptions options;
   options.departments = 6;
   options.professors_per_department = 8;
   options.students_per_department = 120;
   options.courses_per_department = 12;
   workload::Workload uni =
-      workload::MakeUniversityWorkload(&symbols, options);
-
-  std::cout << "ontology: " << uni.tgds.size() << " guarded TGDs; data: "
-            << uni.database.size() << " facts\n";
-
-  auto report = termination::Advise(&symbols, uni.tgds, uni.database);
-  if (!report.ok()) {
-    std::cerr << report.status().ToString() << "\n";
+      workload::MakeUniversityWorkload(&build_symbols, options);
+  auto program = api::Program::Create(
+      std::move(build_symbols), std::move(uni.tgds), std::move(uni.database));
+  if (!program.ok()) {
+    std::cerr << program.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "advisor: " << termination::DecisionName(report->decision)
-            << " via " << report->method << "\n";
-  if (!report->materialization.has_value()) return 1;
-  const chase::ChaseResult& m = *report->materialization;
+
+  std::cout << "ontology: " << program->rule_count()
+            << " guarded TGDs; data: " << program->fact_count()
+            << " facts\n";
+
+  auto advice = api::Session(*program).Advise();
+  if (!advice.ok()) {
+    std::cerr << advice.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "advisor: "
+            << termination::DecisionName(advice->decision()) << " via "
+            << advice->report().method << "\n";
+  if (!advice->has_materialization()) return 1;
+  const chase::ChaseResult& m = *advice->report().materialization;
   std::printf("materialized %zu atoms from %zu facts (x%.2f), "
               "maxdepth %u\n\n",
-              m.instance.size(), uni.database.size(),
+              m.instance.size(), program->fact_count(),
               static_cast<double>(m.instance.size()) /
-                  static_cast<double>(uni.database.size()),
+                  static_cast<double>(program->fact_count()),
               m.stats.max_depth);
 
   // --- Certain answers over the enriched data --------------------------
+  // The query layer interns variables, so it runs against a private copy
+  // of the program's frozen table.
+  core::SymbolTable symbols = program->symbols();
   // "Which students certainly have an advisor?" — HasAdvisor is never
   // stored; it follows from Student via an invented advisor.
   {
     core::Term s = symbols.InternVariable("qs");
-    auto has_advisor = symbols.FindPredicate("HasAdvisor");
+    auto has_advisor = program->FindPredicate("HasAdvisor");
     query::AnswerQuery q{{core::Atom(*has_advisor, {s})}, {s}};
-    auto answers =
-        query::CertainAnswers(&symbols, uni.tgds, uni.database, q);
+    auto answers = query::CertainAnswers(&symbols, program->tgds(),
+                                         program->database(), q);
     if (answers.ok()) {
       std::cout << "students with a (certain) advisor: "
                 << answers->size() << "\n";
@@ -68,10 +79,10 @@ int main() {
   {
     core::Term c = symbols.InternVariable("qc");
     core::Term p = symbols.InternVariable("qp");
-    auto taught_by = symbols.FindPredicate("TaughtBy");
+    auto taught_by = program->FindPredicate("TaughtBy");
     query::AnswerQuery q{{core::Atom(*taught_by, {c, p})}, {c}};
-    auto answers =
-        query::CertainAnswers(&symbols, uni.tgds, uni.database, q);
+    auto answers = query::CertainAnswers(&symbols, program->tgds(),
+                                         program->database(), q);
     if (answers.ok()) {
       std::cout << "courses certainly taught by someone: "
                 << answers->size() << "\n\n";
@@ -89,12 +100,18 @@ int main() {
     risky.under_review = seeds;
     workload::Workload w =
         workload::MakeUniversityWorkload(&symbols2, risky);
-    termination::AdvisorOptions aopt;
-    aopt.materialize = false;
-    auto r = termination::Advise(&symbols2, w.tgds, w.database, aopt);
+    auto risky_program = api::Program::Create(
+        std::move(symbols2), std::move(w.tgds), std::move(w.database));
+    if (!risky_program.ok()) {
+      std::cerr << risky_program.status().ToString() << "\n";
+      return 1;
+    }
+    auto r = api::Session(*risky_program,
+                          api::SessionOptions().set_materialize(false))
+                 .Advise();
     std::cout << "with review rule, " << seeds
               << " UnderReview fact(s): "
-              << (r.ok() ? termination::DecisionName(r->decision)
+              << (r.ok() ? termination::DecisionName(r->decision())
                          : r.status().ToString())
               << "\n";
   }

@@ -1,0 +1,62 @@
+#include "api/program.h"
+
+#include <utility>
+
+#include "termination/bounds.h"
+#include "tgd/parser.h"
+
+namespace nuchase {
+namespace api {
+
+util::StatusOr<Program> Program::Parse(const std::string& text) {
+  auto analysis = std::make_shared<Analysis>();
+  auto parsed = tgd::ParseProgram(&analysis->symbols, text);
+  if (!parsed.ok()) return parsed.status();
+  analysis->tgds = std::move(parsed->tgds);
+  analysis->database = std::move(parsed->database);
+  return Analyze(std::move(analysis));
+}
+
+util::StatusOr<Program> Program::Create(core::SymbolTable symbols,
+                                        tgd::TgdSet tgds,
+                                        core::Database database) {
+  auto analysis = std::make_shared<Analysis>();
+  analysis->symbols = std::move(symbols);
+  analysis->tgds = std::move(tgds);
+  analysis->database = std::move(database);
+
+  // The parts were built elsewhere: check every predicate id resolves in
+  // the table before freezing the artifact.
+  const std::uint32_t num_predicates = analysis->symbols.num_predicates();
+  auto check_atoms = [&](const std::vector<core::Atom>& atoms) {
+    for (const core::Atom& atom : atoms) {
+      if (atom.predicate >= num_predicates) return false;
+    }
+    return true;
+  };
+  if (!check_atoms(analysis->database.facts())) {
+    return util::Status::InvalidArgument(
+        "database fact references a predicate missing from the symbol "
+        "table");
+  }
+  for (const tgd::Tgd& rule : analysis->tgds.tgds()) {
+    if (!check_atoms(rule.body()) || !check_atoms(rule.head())) {
+      return util::Status::InvalidArgument(
+          "TGD references a predicate missing from the symbol table");
+    }
+  }
+  return Analyze(std::move(analysis));
+}
+
+util::StatusOr<Program> Program::Analyze(std::shared_ptr<Analysis> a) {
+  a->tgd_class = tgd::Classify(a->tgds);
+  a->depth_bound =
+      termination::DepthBound(a->tgd_class, a->tgds, a->symbols);
+  a->size_factor =
+      termination::SizeFactor(a->tgd_class, a->tgds, a->symbols);
+  a->plans = chase::PlanJoins(a->tgds);
+  return Program(std::move(a));
+}
+
+}  // namespace api
+}  // namespace nuchase

@@ -1,0 +1,103 @@
+#ifndef NUCHASE_API_PROGRAM_H_
+#define NUCHASE_API_PROGRAM_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "chase/chase.h"
+#include "core/database.h"
+#include "core/symbol_table.h"
+#include "tgd/classify.h"
+#include "tgd/tgd.h"
+#include "util/status.h"
+
+namespace nuchase {
+namespace api {
+
+/// An immutable, analyzed program artifact — the parse-once half of the
+/// facade's parse-once / run-many split.
+///
+/// Program::Parse runs the whole front half of the pipeline exactly
+/// once: parse the rule text, validate the TGDs, classify Σ (SL/L/G/TGD),
+/// compute the paper's d_C / f_C bounds, and plan the semi-naive join
+/// orders for every rule. The result is a value-semantic handle over a
+/// shared, frozen analysis: copying a Program is a pointer copy, and a
+/// `const Program` is safe to share across any number of threads — every
+/// chase run allocates its fresh nulls in a private core::SymbolOverlay
+/// instead of mutating the program's symbol table.
+///
+/// Execution happens through api::Session, which borrows a Program and
+/// adds the per-run knobs (variant, budgets, deadline, observer).
+class Program {
+ public:
+  /// Parses, validates, classifies and join-plans a program in the rule
+  /// language of tgd::ParseProgram ("R(a, b).  R(x, y) -> S(y, z)...").
+  /// Facts mention constants only; rules mention variables only.
+  /// Fails with InvalidArgument on malformed input or inconsistent
+  /// predicate arities.
+  static util::StatusOr<Program> Parse(const std::string& text);
+
+  /// Builds a Program from already-constructed parts (e.g. a workload
+  /// generator's output), taking ownership. `symbols` must be the table
+  /// the TGDs and facts were interned against. Fails with
+  /// InvalidArgument when the parts are inconsistent (a predicate id out
+  /// of range of the table).
+  static util::StatusOr<Program> Create(core::SymbolTable symbols,
+                                        tgd::TgdSet tgds,
+                                        core::Database database);
+
+  /// The frozen symbol table the program was analyzed against. Shared —
+  /// never mutate it; take a copy (SymbolTable is value-semantic) for
+  /// machinery that interns new symbols, or layer a core::SymbolOverlay
+  /// over it for chase runs.
+  const core::SymbolTable& symbols() const { return a_->symbols; }
+
+  const tgd::TgdSet& tgds() const { return a_->tgds; }
+  const core::Database& database() const { return a_->database; }
+
+  /// The most specific paper class containing Σ (computed at parse).
+  tgd::TgdClass tgd_class() const { return a_->tgd_class; }
+
+  /// Semi-naive join plans for every TGD (computed at parse; shared by
+  /// all sessions).
+  const chase::JoinPlanSet& join_plans() const { return a_->plans; }
+
+  /// d_C(Σ) (Section 5); +inf when Σ is not guarded.
+  double depth_bound() const { return a_->depth_bound; }
+  /// f_C(Σ), so |chase(D,Σ)| ≤ |D|·f_C(Σ); +inf when unusable.
+  double size_factor() const { return a_->size_factor; }
+
+  std::size_t rule_count() const { return a_->tgds.size(); }
+  std::size_t fact_count() const { return a_->database.size(); }
+
+  /// Looks up a predicate by name (NotFound when absent) — the read-only
+  /// lookup callers need to build queries against the program's schema.
+  util::StatusOr<core::PredicateId> FindPredicate(
+      const std::string& name) const {
+    return a_->symbols.FindPredicate(name);
+  }
+
+ private:
+  struct Analysis {
+    core::SymbolTable symbols;
+    tgd::TgdSet tgds;
+    core::Database database;
+    tgd::TgdClass tgd_class = tgd::TgdClass::kGeneral;
+    chase::JoinPlanSet plans;
+    double depth_bound = 0;
+    double size_factor = 0;
+  };
+
+  explicit Program(std::shared_ptr<const Analysis> analysis)
+      : a_(std::move(analysis)) {}
+
+  static util::StatusOr<Program> Analyze(std::shared_ptr<Analysis> a);
+
+  std::shared_ptr<const Analysis> a_;
+};
+
+}  // namespace api
+}  // namespace nuchase
+
+#endif  // NUCHASE_API_PROGRAM_H_

@@ -1,0 +1,128 @@
+#include "api/session.h"
+
+#include <utility>
+
+#include "termination/syntactic_decider.h"
+#include "termination/ucq_decider.h"
+
+namespace nuchase {
+namespace api {
+
+chase::ChaseOptions Session::MakeChaseOptions() const {
+  chase::ChaseOptions copt;
+  copt.variant = options_.variant;
+  copt.max_atoms = options_.max_atoms;
+  copt.max_depth = options_.max_depth;
+  copt.max_rounds = options_.max_rounds;
+  copt.build_forest = options_.build_forest;
+  copt.use_delta = options_.use_delta;
+  copt.use_position_index = options_.use_position_index;
+  copt.deadline_ms = options_.deadline_ms;
+  copt.cancel = options_.cancel;
+  copt.observer = options_.observer;
+  copt.plans = &program_.join_plans();
+  return copt;
+}
+
+util::StatusOr<ChaseRun> Session::Chase() const {
+  if (options_.max_atoms == 0) {
+    return util::Status::InvalidArgument(
+        "SessionOptions::max_atoms must be positive (every chase run is "
+        "bounded by at least the atom budget)");
+  }
+  ChaseRun run(program_);
+  run.result_ = chase::RunChase(&run.overlay_, program_.tgds(),
+                                program_.database(), MakeChaseOptions());
+  return run;
+}
+
+util::StatusOr<ClassifyResult> Session::Classify() const {
+  ClassifyResult out;
+  out.tgd_class = program_.tgd_class();
+  out.num_tgds = program_.rule_count();
+  out.num_schema_predicates = program_.tgds().SchemaPredicates().size();
+  out.max_arity = program_.tgds().MaxArity(program_.symbols());
+  out.norm = program_.tgds().Norm(program_.symbols());
+  out.num_facts = program_.fact_count();
+  out.has_bounds = out.tgd_class != tgd::TgdClass::kGeneral;
+  out.depth_bound = program_.depth_bound();
+  out.size_factor = program_.size_factor();
+  return out;
+}
+
+util::StatusOr<DecideResult> Session::Decide(DecideMethod method) const {
+  DecideResult out;
+  out.tgd_class = program_.tgd_class();
+
+  // The deciders rewrite Σ (simplification, linearization) and so intern
+  // fresh symbols: give them a session-private copy of the frozen table.
+  core::SymbolTable scratch = program_.symbols();
+
+  switch (method) {
+    case DecideMethod::kUcq: {
+      auto decision = termination::DecideByUcq(&scratch, program_.tgds(),
+                                               program_.database());
+      if (!decision.ok()) return decision.status();
+      out.decision = *decision;
+      out.method = "ucq";
+      return out;
+    }
+    case DecideMethod::kBoundedChase: {
+      // DecideByChase reads only the engine switches and hooks from its
+      // `engine` parameter and owns the decision-relevant fields, so the
+      // full chase-option set is safe to hand over.
+      termination::NaiveDecision naive = termination::DecideByChase(
+          &scratch, program_.tgds(), program_.database(),
+          options_.max_atoms, MakeChaseOptions());
+      out.decision = naive.decision;
+      out.method = "bounded-chase";
+      out.atoms = naive.atoms;
+      out.max_depth = naive.max_depth;
+      return out;
+    }
+    case DecideMethod::kAuto: {
+      termination::AdvisorOptions aopt;
+      aopt.materialize = false;
+      aopt.max_types = options_.max_types;
+      aopt.max_atoms = options_.max_atoms;
+      aopt.use_delta = options_.use_delta;
+      aopt.use_position_index = options_.use_position_index;
+      aopt.deadline_ms = options_.deadline_ms;
+      aopt.cancel = options_.cancel;
+      aopt.observer = options_.observer;
+      aopt.plans = &program_.join_plans();
+      auto report = termination::Advise(&scratch, program_.tgds(),
+                                        program_.database(), aopt);
+      if (!report.ok()) return report.status();
+      out.decision = report->decision;
+      out.method = report->method;
+      return out;
+    }
+  }
+  return util::Status::Internal("unreachable: unknown DecideMethod");
+}
+
+util::StatusOr<AdviseResult> Session::Advise() const {
+  AdviseResult out;
+  out.symbols_ = program_.symbols();
+
+  termination::AdvisorOptions aopt;
+  aopt.materialize = options_.materialize;
+  aopt.max_types = options_.max_types;
+  aopt.max_atoms = options_.max_atoms;
+  aopt.use_delta = options_.use_delta;
+  aopt.use_position_index = options_.use_position_index;
+  aopt.deadline_ms = options_.deadline_ms;
+  aopt.cancel = options_.cancel;
+  aopt.observer = options_.observer;
+  aopt.plans = &program_.join_plans();
+
+  auto report = termination::Advise(&out.symbols_, program_.tgds(),
+                                    program_.database(), aopt);
+  if (!report.ok()) return report.status();
+  out.report_ = std::move(*report);
+  return out;
+}
+
+}  // namespace api
+}  // namespace nuchase

@@ -1,6 +1,7 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 
 #include "chase/null_store.h"
@@ -37,8 +38,34 @@ const char* ChaseOutcomeName(ChaseOutcome outcome) {
       return "depth-limit";
     case ChaseOutcome::kRoundLimit:
       return "round-limit";
+    case ChaseOutcome::kCancelled:
+      return "cancelled";
   }
   return "?";
+}
+
+JoinPlanSet PlanJoins(const tgd::TgdSet& tgds) {
+  JoinPlanSet plans;
+  plans.reserve(tgds.size());
+  for (std::uint32_t ti = 0; ti < tgds.size(); ++ti) {
+    const std::vector<Atom>& body = tgds.tgd(ti).body();
+    JoinPlan plan;
+    plan.reordered_bodies.resize(body.size());
+    plan.old_flags.resize(body.size());
+    for (std::size_t p = 0; p < body.size(); ++p) {
+      std::vector<std::size_t> order = PlanJoinOrder(body, p);
+      std::vector<Atom>& reordered = plan.reordered_bodies[p];
+      std::vector<bool>& old_only = plan.old_flags[p];
+      reordered.reserve(body.size());
+      old_only.reserve(body.size());
+      for (std::size_t i : order) {
+        reordered.push_back(body[i]);
+        old_only.push_back(i < p);
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
 }
 
 namespace {
@@ -69,42 +96,9 @@ bool PendingBefore(const PendingTrigger& a, const PendingTrigger& b) {
   return a.body_images < b.body_images;
 }
 
-/// Per-TGD join plans for the semi-naive engine: for every body position
-/// p, the body reordered by PlanJoinOrder(body, p) so the delta-seeded
-/// atom comes first and each following atom is maximally connected to
-/// the prefix. `old_flags[p]` (aligned with the reordered body) marks
-/// the atoms whose original position precedes p: restricting those to
-/// pre-delta atoms makes every homomorphism enumerable from exactly one
-/// seed position — its first (in body order) delta atom. Computed once
-/// per run.
-struct RulePlan {
-  // reordered_bodies[p] is the body permuted with position p first.
-  std::vector<std::vector<Atom>> reordered_bodies;
-  std::vector<std::vector<bool>> old_flags;
-};
-
-RulePlan MakeRulePlan(const tgd::Tgd& rule) {
-  RulePlan plan;
-  const std::vector<Atom>& body = rule.body();
-  plan.reordered_bodies.resize(body.size());
-  plan.old_flags.resize(body.size());
-  for (std::size_t p = 0; p < body.size(); ++p) {
-    std::vector<std::size_t> order = PlanJoinOrder(body, p);
-    std::vector<Atom>& reordered = plan.reordered_bodies[p];
-    std::vector<bool>& old_only = plan.old_flags[p];
-    reordered.reserve(body.size());
-    old_only.reserve(body.size());
-    for (std::size_t i : order) {
-      reordered.push_back(body[i]);
-      old_only.push_back(i < p);
-    }
-  }
-  return plan;
-}
-
 }  // namespace
 
-ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
                      const core::Database& db,
                      const ChaseOptions& options) {
   ChaseResult result;
@@ -113,6 +107,34 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
   std::unordered_set<std::vector<std::uint32_t>,
                      util::VectorHash<std::uint32_t>>
       fired;
+
+  // Cooperative interruption: the cancel token is a relaxed atomic read,
+  // polled on every call; the deadline needs a clock read, amortized to
+  // one in 64 polls. Polls happen at round, trigger and homomorphism
+  // granularity, so even a diverging chase whose rounds keep growing
+  // stops within a bounded slice of work.
+  const auto start = std::chrono::steady_clock::now();
+  const bool has_deadline = options.deadline_ms != 0;
+  const auto deadline =
+      start + std::chrono::milliseconds(options.deadline_ms);
+  std::uint32_t deadline_poll = 0;
+  auto stop_requested = [&]() {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return true;
+    }
+    if (!has_deadline) return false;
+    if ((++deadline_poll & 63u) != 0) return false;
+    return std::chrono::steady_clock::now() >= deadline;
+  };
+  bool interrupted = false;
+  // Probe-level hook for the homomorphism finders: long match-free joins
+  // never reach the per-homomorphism poll, so the finder itself polls
+  // this (amortized) and unwinds. Set only when there is something to
+  // poll, keeping the probe loop branch-predictable otherwise.
+  const std::function<bool()> probe_interrupt = stop_requested;
+  const std::function<bool()>* finder_interrupt =
+      (options.cancel != nullptr || has_deadline) ? &probe_interrupt
+                                                  : nullptr;
 
   result.stats.database_atoms = db.size();
   if (options.use_delta) instance.EnableDeltaTracking();
@@ -123,26 +145,38 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
   if (options.use_delta) instance.AdvanceDelta();
 
   // One join plan per TGD, shared by every round (the body never
-  // changes; only the seed position varies).
-  std::vector<RulePlan> plans;
-  if (options.use_delta) {
-    plans.reserve(tgds.size());
-    for (std::uint32_t ti = 0; ti < tgds.size(); ++ti) {
-      plans.push_back(MakeRulePlan(tgds.tgd(ti)));
-    }
+  // changes; only the seed position varies) — and by every run, when the
+  // caller supplies plans precomputed with PlanJoins (api::Program does).
+  JoinPlanSet local_plans;
+  const JoinPlanSet* plans = options.plans;
+  if (options.use_delta && (plans == nullptr ||
+                            plans->size() != tgds.size())) {
+    local_plans = PlanJoins(tgds);
+    plans = &local_plans;
   }
 
   std::size_t delta_begin = 0;
   std::size_t delta_end = instance.size();
   std::vector<PendingTrigger> pending;
 
+  // The loop reports its outcome; the observer's OnDone fires on every
+  // exit path alike, after the stats are final.
+  result.outcome = [&]() -> ChaseOutcome {
   while (delta_begin < delta_end) {
     if (options.max_rounds != 0 &&
         result.stats.rounds >= options.max_rounds) {
-      result.outcome = ChaseOutcome::kRoundLimit;
-      return result;
+      return ChaseOutcome::kRoundLimit;
     }
+    if (stop_requested()) return ChaseOutcome::kCancelled;
     ++result.stats.rounds;
+    if (options.observer != nullptr) {
+      RoundProgress progress;
+      progress.round = result.stats.rounds;
+      progress.atoms = instance.size();
+      progress.delta_atoms = delta_end - delta_begin;
+      progress.triggers_fired = result.stats.triggers_fired;
+      options.observer->OnRound(progress);
+    }
 
     for (std::uint32_t ti = 0; ti < tgds.size(); ++ti) {
       const tgd::Tgd& rule = tgds.tgd(ti);
@@ -156,7 +190,12 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
       pending.clear();
       HomomorphismFinder finder(instance, options.use_position_index);
       finder.set_probe_counter(&result.stats.join_probes);
+      finder.set_interrupt(finder_interrupt);
       auto on_match = [&](const Substitution& h) {
+        if (interrupted || stop_requested()) {
+          interrupted = true;
+          return false;  // stop enumerating; the run is being cancelled
+        }
         // Round discipline for the naive baseline, mirroring the delta
         // engine exactly: a trigger is collected in the round whose
         // delta window contains its first (in body order) non-old
@@ -223,9 +262,9 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
         // body positions before the seed are restricted to pre-delta
         // atoms so each homomorphism is enumerated from exactly one
         // seed.
-        const RulePlan& plan = plans[ti];
-        for (std::size_t seed_pos = 0; seed_pos < rule.body().size();
-             ++seed_pos) {
+        const JoinPlan& plan = (*plans)[ti];
+        for (std::size_t seed_pos = 0;
+             seed_pos < rule.body().size() && !interrupted; ++seed_pos) {
           core::PredicateId seed_pred = rule.body()[seed_pos].predicate;
           const std::vector<AtomIndex>& seeds =
               instance.DeltaAtomsWithPredicate(seed_pred);
@@ -233,6 +272,7 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
           finder.set_old_restriction(&plan.old_flags[seed_pos],
                                      static_cast<AtomIndex>(delta_begin));
           for (AtomIndex a : seeds) {
+            if (interrupted) break;
             finder.Enumerate(plan.reordered_bodies[seed_pos],
                              Substitution{}, /*seed_atom=*/0, a, on_match);
           }
@@ -243,6 +283,9 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
         // instance; `fired` discards the ones found in earlier rounds.
         finder.Enumerate(rule.body(), on_match);
       }
+      if (interrupted || finder.interrupted()) {
+        return ChaseOutcome::kCancelled;
+      }
 
       // Both engines find the same trigger set per round, in different
       // orders; apply in canonical order so the firing order (and the
@@ -251,6 +294,7 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
 
       // Apply phase.
       for (const PendingTrigger& trig : pending) {
+        if (stop_requested()) return ChaseOutcome::kCancelled;
         // Bind frontier variables.
         Substitution h;
         for (std::size_t i = 0; i < frontier.size(); ++i) {
@@ -266,6 +310,7 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
           HomomorphismFinder head_finder(instance,
                                          options.use_position_index);
           head_finder.set_probe_counter(&result.stats.join_probes);
+          head_finder.set_interrupt(finder_interrupt);
           bool satisfied = false;
           head_finder.Enumerate(rule.head(), h, /*seed_atom=*/-1,
                                 /*seed_target=*/0,
@@ -273,6 +318,11 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
                                   satisfied = true;
                                   return false;  // stop at the first
                                 });
+          // An aborted satisfaction check certifies nothing: stop
+          // before applying (or skipping) this trigger.
+          if (head_finder.interrupted()) {
+            return ChaseOutcome::kCancelled;
+          }
           if (satisfied) {
             ++result.stats.triggers_satisfied;
             continue;
@@ -289,8 +339,12 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
           std::uint32_t d = symbols->depth(null);
           result.stats.max_depth = std::max(result.stats.max_depth, d);
           if (options.max_depth != 0 && d > options.max_depth) {
-            result.outcome = ChaseOutcome::kDepthLimit;
-            return result;
+            // The trigger was counted as fired: keep the observer's
+            // OnFire tally equal to stats.triggers_fired on every path.
+            if (options.observer != nullptr) {
+              options.observer->OnFire(trig.tgd_index, instance.size());
+            }
+            return ChaseOutcome::kDepthLimit;
           }
           h.emplace(z, null);
         }
@@ -309,9 +363,15 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
             }
           }
           if (instance.size() > options.max_atoms) {
-            result.outcome = ChaseOutcome::kAtomLimit;
-            return result;
+            // As above: the budget-tripping trigger did fire.
+            if (options.observer != nullptr) {
+              options.observer->OnFire(trig.tgd_index, instance.size());
+            }
+            return ChaseOutcome::kAtomLimit;
           }
+        }
+        if (options.observer != nullptr) {
+          options.observer->OnFire(trig.tgd_index, instance.size());
         }
       }
     }
@@ -321,11 +381,16 @@ ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
     if (options.use_delta) instance.AdvanceDelta();
   }
 
-  result.outcome = ChaseOutcome::kTerminated;
+  return ChaseOutcome::kTerminated;
+  }();
+
+  if (options.observer != nullptr) {
+    options.observer->OnDone(result.outcome, result.stats);
+  }
   return result;
 }
 
-ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
                      const core::Database& db) {
   return RunChase(symbols, tgds, db, ChaseOptions{});
 }

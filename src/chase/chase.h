@@ -2,8 +2,10 @@
 #define NUCHASE_CHASE_CHASE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "chase/forest.h"
+#include "chase/observer.h"
 #include "core/database.h"
 #include "core/instance.h"
 #include "core/symbol_table.h"
@@ -36,6 +38,28 @@ enum class ChaseVariant {
 
 const char* ChaseVariantName(ChaseVariant variant);
 
+/// Precomputed per-TGD join plans for the semi-naive engine: for every
+/// body position p, the body reordered by PlanJoinOrder(body, p) so the
+/// delta-seeded atom comes first and each following atom is maximally
+/// connected to the prefix. `old_flags[p]` (aligned with the reordered
+/// body) marks the atoms whose original position precedes p: restricting
+/// those to pre-delta atoms makes every homomorphism enumerable from
+/// exactly one seed position — its first (in body order) delta atom.
+struct JoinPlan {
+  /// reordered_bodies[p] is the body permuted with position p first.
+  std::vector<std::vector<core::Atom>> reordered_bodies;
+  std::vector<std::vector<bool>> old_flags;
+};
+
+/// One JoinPlan per TGD, aligned with TgdSet order.
+using JoinPlanSet = std::vector<JoinPlan>;
+
+/// Plans the joins of every TGD in Σ once. The plans depend only on Σ, so
+/// callers chasing the same rule set repeatedly (api::Program sessions)
+/// compute them a single time and pass them via ChaseOptions::plans;
+/// RunChase plans per run when none are supplied.
+JoinPlanSet PlanJoins(const tgd::TgdSet& tgds);
+
 /// Budgets and switches for a chase run. The semi-oblivious chase of a
 /// non-terminating pair (D, Σ) is infinite, so every run is bounded by at
 /// least the atom budget; deciders additionally use the depth budget
@@ -67,6 +91,22 @@ struct ChaseOptions {
   /// the full instance (the naive baseline); the (σ, h) dedup set keeps
   /// the results byte-identical, only cost differs.
   bool use_delta = true;
+  /// If nonzero, stop (outcome kCancelled) once the run has lasted
+  /// longer than this wall-clock budget. Polled at the same granularity
+  /// as `cancel`.
+  std::uint64_t deadline_ms = 0;
+  /// Optional cooperative cancellation token, polled at round, trigger
+  /// and homomorphism granularity; when fired the run stops with outcome
+  /// kCancelled and returns the consistent prefix built so far. Not
+  /// owned; must outlive the run.
+  const CancelToken* cancel = nullptr;
+  /// Optional observation hooks (on-round / on-fire / on-done), called
+  /// synchronously from the chase loop. Not owned; must outlive the run.
+  ChaseObserver* observer = nullptr;
+  /// Optional precomputed join plans for Σ (see PlanJoins). Must have
+  /// been computed from the same TgdSet (one entry per TGD, same order);
+  /// when null the run plans its own. Not owned; must outlive the run.
+  const JoinPlanSet* plans = nullptr;
 };
 
 /// Why a chase run stopped.
@@ -75,6 +115,7 @@ enum class ChaseOutcome {
   kAtomLimit,   ///< Atom budget exhausted (instance is a chase prefix).
   kDepthLimit,  ///< A term of depth > max_depth appeared.
   kRoundLimit,  ///< Round budget exhausted.
+  kCancelled,   ///< CancelToken fired or the deadline budget elapsed.
 };
 
 const char* ChaseOutcomeName(ChaseOutcome outcome);
@@ -115,11 +156,16 @@ struct ChaseResult {
 /// functional in (σ, h|fr(σ)), every valid derivation has the same result
 /// [20], which this function computes whenever it terminates within the
 /// budgets.
-ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+///
+/// `symbols` only has to allocate the run's fresh nulls: pass the plain
+/// SymbolTable the inputs were built against, or — to chase a shared,
+/// frozen table from many threads at once — a per-run
+/// core::SymbolOverlay over it.
+ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
                      const core::Database& db, const ChaseOptions& options);
 
 /// RunChase with default options.
-ChaseResult RunChase(core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
                      const core::Database& db);
 
 }  // namespace chase

@@ -20,7 +20,7 @@ namespace chase {
 /// Definition 4.3) on first request.
 class NullStore {
  public:
-  explicit NullStore(core::SymbolTable* symbols) : symbols_(symbols) {}
+  explicit NullStore(core::SymbolScope* symbols) : symbols_(symbols) {}
 
   /// Returns the null ⊥^z_{σ, h|fr(σ)} for `tgd_index` (position of σ in
   /// Σ), `existential_var` z, and the frontier images h(fr(σ)) listed in
@@ -42,7 +42,7 @@ class NullStore {
   std::size_t size() const { return store_.size(); }
 
  private:
-  core::SymbolTable* symbols_;
+  core::SymbolScope* symbols_;
   std::unordered_map<std::vector<std::uint32_t>, core::Term,
                      util::VectorHash<std::uint32_t>>
       store_;

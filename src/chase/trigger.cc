@@ -73,6 +73,10 @@ bool HomomorphismFinder::Match(const Atom& pattern, const Atom& fact,
                                std::vector<Term>* trail) const {
   assert(pattern.predicate == fact.predicate);
   if (probe_counter_ != nullptr) ++*probe_counter_;
+  if (interrupt_ != nullptr && (++interrupt_tick_ & 1023u) == 0 &&
+      (*interrupt_)()) {
+    interrupted_ = true;
+  }
   const std::size_t trail_start = trail->size();
   for (std::size_t i = 0; i < pattern.args.size(); ++i) {
     Term p = pattern.args[i];
@@ -149,6 +153,7 @@ bool HomomorphismFinder::Recurse(
     const std::vector<Atom>& atoms, std::vector<bool>* done,
     std::size_t remaining, Substitution* h,
     const std::function<bool(const Substitution&)>& cb) const {
+  if (interrupted_) return false;
   if (remaining == 0) return cb(*h);
 
   // Pick the undone atom with the smallest candidate list: for every bound
@@ -195,7 +200,15 @@ bool HomomorphismFinder::Recurse(
   for (std::size_t c = 0; c < best_count; ++c) {
     AtomIndex idx = (*best_candidates)[c];
     trail.clear();
-    if (!Match(atoms[best], instance_.atom(idx), h, &trail)) continue;
+    bool matched = Match(atoms[best], instance_.atom(idx), h, &trail);
+    if (interrupted_) {
+      for (std::size_t k = trail.size(); k > 0; --k) {
+        h->erase(trail[k - 1]);
+      }
+      (*done)[best] = false;
+      return false;
+    }
+    if (!matched) continue;
     bool keep_going = Recurse(atoms, done, remaining - 1, h, cb);
     for (std::size_t k = trail.size(); k > 0; --k) h->erase(trail[k - 1]);
     if (!keep_going) {

@@ -49,6 +49,20 @@ class HomomorphismFinder {
     probe_counter_ = counter;
   }
 
+  /// When set, enumeration polls (*interrupt)() once every 1024 probes
+  /// and unwinds early (without further callbacks) when it returns true
+  /// — the hook the chase engine uses to honour its CancelToken/deadline
+  /// inside long match-free joins, where the per-homomorphism poll never
+  /// runs. Sticky per finder: once tripped, `interrupted()` stays true
+  /// and subsequent Enumerate calls return immediately. The pointee must
+  /// outlive the finder; pass nullptr to clear.
+  void set_interrupt(const std::function<bool()>* interrupt) {
+    interrupt_ = interrupt;
+  }
+
+  /// True iff an enumeration was aborted by the interrupt hook.
+  bool interrupted() const { return interrupted_; }
+
   /// Semi-naive discipline: restricts the atoms flagged in `old_only`
   /// (aligned with the `atoms` vector passed to Enumerate) to instance
   /// atoms with index < `old_limit`. Seeding each join from a delta atom
@@ -99,6 +113,10 @@ class HomomorphismFinder {
   const core::Instance& instance_;
   bool use_position_index_;
   std::uint64_t* probe_counter_ = nullptr;
+  const std::function<bool()>* interrupt_ = nullptr;
+  // Mutable: polled/latched inside const enumeration.
+  mutable std::uint32_t interrupt_tick_ = 0;
+  mutable bool interrupted_ = false;
   const std::vector<bool>* old_only_ = nullptr;
   core::AtomIndex old_limit_ = 0;
 };

@@ -5,7 +5,7 @@
 namespace nuchase {
 namespace core {
 
-std::string Atom::ToString(const SymbolTable& symbols) const {
+std::string Atom::ToString(const SymbolScope& symbols) const {
   std::string out = symbols.predicate_name(predicate);
   out += '(';
   for (std::size_t i = 0; i < args.size(); ++i) {

@@ -44,7 +44,7 @@ struct Atom {
   }
 
   /// Renders the atom with the given symbol table, e.g. "R(a, _:n3)".
-  std::string ToString(const SymbolTable& symbols) const;
+  std::string ToString(const SymbolScope& symbols) const;
 };
 
 struct AtomHash {

@@ -50,7 +50,7 @@ Instance Database::ToInstance() const {
   return out;
 }
 
-std::string Database::ToSortedString(const SymbolTable& symbols) const {
+std::string Database::ToSortedString(const SymbolScope& symbols) const {
   std::vector<std::string> lines;
   lines.reserve(facts_.size());
   for (const Atom& f : facts_) lines.push_back(f.ToString(symbols));

@@ -45,7 +45,7 @@ class Database {
   Instance ToInstance() const;
 
   /// Sorted rendering, for tests.
-  std::string ToSortedString(const SymbolTable& symbols) const;
+  std::string ToSortedString(const SymbolScope& symbols) const;
 
  private:
   std::vector<Atom> facts_;

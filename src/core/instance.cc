@@ -59,7 +59,7 @@ std::unordered_set<Term> Instance::ActiveDomain() const {
   return dom;
 }
 
-std::string Instance::ToSortedString(const SymbolTable& symbols) const {
+std::string Instance::ToSortedString(const SymbolScope& symbols) const {
   std::vector<std::string> lines;
   lines.reserve(atoms_.size());
   for (const Atom& a : atoms_) lines.push_back(a.ToString(symbols));

@@ -82,7 +82,7 @@ class Instance {
   const std::vector<Atom>& atoms() const { return atoms_; }
 
   /// Sorted multi-line rendering (stable across runs), for tests and goldens.
-  std::string ToSortedString(const SymbolTable& symbols) const;
+  std::string ToSortedString(const SymbolScope& symbols) const;
 
  private:
   std::vector<Atom> atoms_;

@@ -99,5 +99,27 @@ std::string SymbolTable::TermToString(Term t) const {
   return "?";
 }
 
+Term SymbolOverlay::MakeNull(std::uint32_t depth) {
+  std::uint32_t idx =
+      base_nulls_ + static_cast<std::uint32_t>(null_depths_.size());
+  null_depths_.push_back(depth);
+  return Term(TermKind::kNull, idx);
+}
+
+std::uint32_t SymbolOverlay::depth(Term t) const {
+  if (t.IsNull() && t.index() >= base_nulls_) {
+    return null_depths_[t.index() - base_nulls_];
+  }
+  return base_->depth(t);
+}
+
+std::string SymbolOverlay::TermToString(Term t) const {
+  // Overlay nulls print exactly as base nulls would ("_:n<index>"), so a
+  // run over an overlay renders byte-identically to the same run over a
+  // privately-owned table.
+  if (t.IsNull()) return "_:n" + std::to_string(t.index());
+  return base_->TermToString(t);
+}
+
 }  // namespace core
 }  // namespace nuchase

@@ -18,13 +18,43 @@ using PredicateId = std::uint32_t;
 /// Sentinel for "no predicate".
 inline constexpr PredicateId kInvalidPredicate = 0xffffffffu;
 
+/// The symbol operations the chase engine and result rendering need:
+/// resolving predicates, computing term depths (Definition 4.3),
+/// allocating fresh labelled nulls, and printing terms. Two
+/// implementations exist:
+///
+///   - SymbolTable: the plain mutable interning table (single-threaded
+///     callers, and the frozen base owned by an api::Program);
+///   - SymbolOverlay: a per-chase-run view over a frozen SymbolTable
+///     that allocates fresh nulls locally, so any number of concurrent
+///     runs can share one const base table without synchronization.
+class SymbolScope {
+ public:
+  virtual ~SymbolScope() = default;
+
+  /// Allocates a fresh labelled null with the given depth.
+  virtual Term MakeNull(std::uint32_t depth) = 0;
+
+  /// Depth of a term (Definition 4.3): 0 for constants, the recorded
+  /// creation depth for nulls. Must not be called on variables.
+  virtual std::uint32_t depth(Term t) const = 0;
+
+  virtual std::uint32_t num_nulls() const = 0;
+
+  virtual const std::string& predicate_name(PredicateId id) const = 0;
+  virtual std::uint32_t arity(PredicateId id) const = 0;
+
+  /// Printable form of any term.
+  virtual std::string TermToString(Term t) const = 0;
+};
+
 /// Interning table for the symbols of one Context: predicate names with
 /// arities, constant names, variable names, and labelled nulls.
 ///
 /// Nulls are not named by strings; they are allocated by the chase (or the
 /// rewriting machinery) and carry a depth (Definition 4.3). Their printable
 /// form is "_:n<k>".
-class SymbolTable {
+class SymbolTable final : public SymbolScope {
  public:
   SymbolTable() = default;
 
@@ -38,10 +68,12 @@ class SymbolTable {
   /// Looks up a predicate by name.
   util::StatusOr<PredicateId> FindPredicate(const std::string& name) const;
 
-  const std::string& predicate_name(PredicateId id) const {
+  const std::string& predicate_name(PredicateId id) const override {
     return predicates_[id].name;
   }
-  std::uint32_t arity(PredicateId id) const { return predicates_[id].arity; }
+  std::uint32_t arity(PredicateId id) const override {
+    return predicates_[id].arity;
+  }
   std::uint32_t num_predicates() const {
     return static_cast<std::uint32_t>(predicates_.size());
   }
@@ -66,18 +98,18 @@ class SymbolTable {
   // Nulls --------------------------------------------------------------------
 
   /// Allocates a fresh labelled null with the given depth.
-  Term MakeNull(std::uint32_t depth);
+  Term MakeNull(std::uint32_t depth) override;
 
   /// Depth of a term (Definition 4.3): 0 for constants, the recorded
   /// creation depth for nulls. Must not be called on variables.
-  std::uint32_t depth(Term t) const;
+  std::uint32_t depth(Term t) const override;
 
-  std::uint32_t num_nulls() const {
+  std::uint32_t num_nulls() const override {
     return static_cast<std::uint32_t>(null_depths_.size());
   }
 
   /// Printable form of any term.
-  std::string TermToString(Term t) const;
+  std::string TermToString(Term t) const override;
 
  private:
   struct PredicateInfo {
@@ -94,6 +126,47 @@ class SymbolTable {
   std::vector<std::string> variable_names_;
   std::unordered_map<std::string, std::uint32_t> variable_by_name_;
 
+  std::vector<std::uint32_t> null_depths_;
+};
+
+/// Per-run overlay over a frozen base table. Reads (predicates,
+/// constants, variables, and the base's pre-existing nulls) delegate to
+/// the base without any mutation; fresh nulls allocated through the
+/// overlay live in the overlay only, numbered directly after the base's.
+/// N overlays over one const SymbolTable therefore run concurrently
+/// without synchronization, and — because each run starts numbering at
+/// base.num_nulls() — produce identical null names for identical runs.
+///
+/// The base must outlive the overlay and must not be mutated while any
+/// overlay over it is in use.
+class SymbolOverlay final : public SymbolScope {
+ public:
+  explicit SymbolOverlay(const SymbolTable& base)
+      : base_(&base), base_nulls_(base.num_nulls()) {}
+
+  Term MakeNull(std::uint32_t depth) override;
+  std::uint32_t depth(Term t) const override;
+
+  std::uint32_t num_nulls() const override {
+    return base_nulls_ + static_cast<std::uint32_t>(null_depths_.size());
+  }
+
+  const std::string& predicate_name(PredicateId id) const override {
+    return base_->predicate_name(id);
+  }
+  std::uint32_t arity(PredicateId id) const override {
+    return base_->arity(id);
+  }
+
+  std::string TermToString(Term t) const override;
+
+  const SymbolTable& base() const { return *base_; }
+
+ private:
+  const SymbolTable* base_;
+  std::uint32_t base_nulls_;
+  /// Depths of the overlay-allocated nulls; overlay null k has term
+  /// index base_nulls_ + k.
   std::vector<std::uint32_t> null_depths_;
 };
 

@@ -22,6 +22,10 @@ util::StatusOr<AdvisorReport> Advise(core::SymbolTable* symbols,
     chase::ChaseOptions engine;
     engine.use_delta = options.use_delta;
     engine.use_position_index = options.use_position_index;
+    engine.deadline_ms = options.deadline_ms;
+    engine.cancel = options.cancel;
+    engine.observer = options.observer;
+    engine.plans = options.plans;
     NaiveDecision naive =
         DecideByChase(symbols, tgds, db, options.max_atoms, engine);
     report.decision = naive.decision;
@@ -53,8 +57,17 @@ util::StatusOr<AdvisorReport> Advise(core::SymbolTable* symbols,
     chase_options.max_atoms = options.max_atoms;
     chase_options.use_delta = options.use_delta;
     chase_options.use_position_index = options.use_position_index;
+    chase_options.deadline_ms = options.deadline_ms;
+    chase_options.cancel = options.cancel;
+    chase_options.observer = options.observer;
+    chase_options.plans = options.plans;
     chase::ChaseResult result =
         chase::RunChase(symbols, tgds, db, chase_options);
+    if (result.outcome == chase::ChaseOutcome::kCancelled) {
+      return util::Status::ResourceExhausted(
+          "materialization cancelled (CancelToken fired or deadline "
+          "elapsed) before completing");
+    }
     if (!result.Terminated()) {
       return util::Status::ResourceExhausted(
           "decider certified termination but the materialization budget "

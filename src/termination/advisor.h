@@ -44,6 +44,14 @@ struct AdvisorOptions {
   /// chase::ChaseOptions.
   bool use_delta = true;
   bool use_position_index = true;
+  /// Interruption and observation hooks, likewise forwarded to every
+  /// chase the advisor runs. A cancelled materialization surfaces as
+  /// ResourceExhausted. None are owned; all must outlive the call.
+  std::uint64_t deadline_ms = 0;
+  const chase::CancelToken* cancel = nullptr;
+  chase::ChaseObserver* observer = nullptr;
+  /// Optional precomputed join plans for Σ (chase::PlanJoins).
+  const chase::JoinPlanSet* plans = nullptr;
 };
 
 /// Classifies Σ, picks the worst-case-optimal syntactic decider for its

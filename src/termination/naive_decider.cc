@@ -33,11 +33,17 @@ NaiveDecision DecideByChase(core::SymbolTable* symbols,
   out.size_bound =
       static_cast<double>(db.size()) * SizeFactor(clazz, tgds, *symbols);
 
-  // Engine switches are caller-configurable; the decision-relevant
-  // fields below (variant, budgets) belong to the procedure.
+  // Engine switches (and the interruption hooks — token, deadline,
+  // observer, shared plans) are caller-configurable; the
+  // decision-relevant fields below (variant, budgets) belong to the
+  // procedure.
   chase::ChaseOptions options;
   options.use_delta = engine.use_delta;
   options.use_position_index = engine.use_position_index;
+  options.deadline_ms = engine.deadline_ms;
+  options.cancel = engine.cancel;
+  options.observer = engine.observer;
+  options.plans = engine.plans;
   options.variant = chase::ChaseVariant::kSemiOblivious;
   // Depth budget: exceeding d_C(Σ) certifies non-termination
   // (Lemmas 6.2 / 7.4 / 8.2 via Theorems 6.4 / 7.5 / 8.3).
@@ -81,6 +87,10 @@ NaiveDecision DecideByChase(core::SymbolTable* symbols,
                                        : Decision::kUnknown;
       break;
     case chase::ChaseOutcome::kRoundLimit:
+      out.decision = Decision::kUnknown;
+      break;
+    case chase::ChaseOutcome::kCancelled:
+      // An interrupted run certifies nothing in either direction.
       out.decision = Decision::kUnknown;
       break;
   }

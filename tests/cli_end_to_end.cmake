@@ -104,6 +104,11 @@ foreach(prog quickstart data_exchange datalog_tc)
   run_golden(${prog}.tgd ${prog}_decide.txt 0 decide)
   run_golden(${prog}.tgd ${prog}_chase.txt 0 chase --print)
 endforeach()
+# Budget flags: a round budget must stop the recursive datalog program
+# with outcome round-limit (exit 1 — the instance is only a chase
+# prefix) and deterministic counters.
+run_golden(datalog_tc.tgd datalog_tc_rounds.txt 1 chase --max-rounds=2)
+
 run_golden(witness_race.tgd witness_race_classify.txt 0 classify)
 run_golden(witness_race.tgd witness_race_decide.txt 1 decide)
 run_golden(witness_race.tgd witness_race_chase.txt 0

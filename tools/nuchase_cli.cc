@@ -9,6 +9,11 @@
 // FILE holds a program in the rule language of tgd::ParseProgram
 // ("R(a, b).  R(x, y) -> S(y, z)."); "-" reads stdin. Options are
 // documented under --help.
+//
+// The CLI is a thin client of the api facade: one api::Program is
+// parsed/analyzed per invocation and every command runs through an
+// api::Session. Only the rewrite/explain commands reach below the
+// facade, against a session-private copy of the program's symbol table.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,17 +22,10 @@
 #include <string>
 #include <vector>
 
-#include "chase/chase.h"
 #include "graph/weak_acyclicity.h"
+#include "nuchase/nuchase.h"
 #include "rewrite/linearize.h"
 #include "rewrite/simplify.h"
-#include "termination/advisor.h"
-#include "termination/bounds.h"
-#include "termination/naive_decider.h"
-#include "termination/syntactic_decider.h"
-#include "termination/ucq_decider.h"
-#include "tgd/classify.h"
-#include "tgd/parser.h"
 #include "tgd/printer.h"
 
 namespace nuchase {
@@ -47,7 +45,13 @@ int Usage(const char* argv0) {
                "\n"
                "options:\n"
                "  --variant=semi-oblivious|oblivious|restricted  (chase)\n"
-               "  --max-atoms=N     chase atom budget (default 1000000)\n"
+               "  --max-atoms=N     chase atom budget (default %llu)\n"
+               "  --max-depth=N     stop once a null exceeds depth N "
+               "(default off)\n"
+               "  --max-rounds=N    stop after N breadth-first rounds "
+               "(default off)\n"
+               "  --deadline-ms=N   stop (outcome cancelled) after N ms "
+               "of wall clock\n"
                "  --print           also print the materialized atoms\n"
                "  --no-delta        full-scan trigger search (ablation)\n"
                "  --no-position-index  join without the per-position "
@@ -55,24 +59,25 @@ int Usage(const char* argv0) {
                "  --ucq             decide via the data-complexity UCQ\n"
                "  --naive           decide via the bounded chase\n"
                "  --mode=simplify|linearize|gsimple   (rewrite)\n",
-               argv0);
+               argv0,
+               static_cast<unsigned long long>(
+                   chase::ChaseOptions{}.max_atoms));
   return 2;
 }
 
-struct Options {
+struct CliOptions {
   std::string command;
   std::string file;
-  chase::ChaseVariant variant = chase::ChaseVariant::kSemiOblivious;
-  std::uint64_t max_atoms = 1'000'000;
+  // Run options forwarded to the session; defaults (including the atom
+  // budget) come from the library via SessionOptions.
+  api::SessionOptions session;
   bool print_atoms = false;
   bool use_ucq = false;
   bool use_naive = false;
-  bool use_delta = true;
-  bool use_position_index = true;
   std::string mode = "simplify";
 };
 
-bool ParseArgs(int argc, char** argv, Options* out) {
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
   if (argc < 3) return false;
   out->command = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -84,23 +89,33 @@ bool ParseArgs(int argc, char** argv, Options* out) {
     } else if (arg == "--naive") {
       out->use_naive = true;
     } else if (arg == "--no-delta") {
-      out->use_delta = false;
+      out->session.use_delta = false;
     } else if (arg == "--no-position-index") {
-      out->use_position_index = false;
+      out->session.use_position_index = false;
     } else if (arg.rfind("--variant=", 0) == 0) {
       std::string v = arg.substr(10);
       if (v == "semi-oblivious") {
-        out->variant = chase::ChaseVariant::kSemiOblivious;
+        out->session.variant = chase::ChaseVariant::kSemiOblivious;
       } else if (v == "oblivious") {
-        out->variant = chase::ChaseVariant::kOblivious;
+        out->session.variant = chase::ChaseVariant::kOblivious;
       } else if (v == "restricted") {
-        out->variant = chase::ChaseVariant::kRestricted;
+        out->session.variant = chase::ChaseVariant::kRestricted;
       } else {
         std::fprintf(stderr, "unknown variant '%s'\n", v.c_str());
         return false;
       }
     } else if (arg.rfind("--max-atoms=", 0) == 0) {
-      out->max_atoms = std::strtoull(arg.c_str() + 12, nullptr, 10);
+      out->session.max_atoms =
+          std::strtoull(arg.c_str() + 12, nullptr, 10);
+    } else if (arg.rfind("--max-depth=", 0) == 0) {
+      out->session.max_depth = static_cast<std::uint32_t>(
+          std::strtoul(arg.c_str() + 12, nullptr, 10));
+    } else if (arg.rfind("--max-rounds=", 0) == 0) {
+      out->session.max_rounds =
+          std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      out->session.deadline_ms =
+          std::strtoull(arg.c_str() + 14, nullptr, 10);
     } else if (arg.rfind("--mode=", 0) == 0) {
       out->mode = arg.substr(7);
     } else if (arg.rfind("--", 0) == 0) {
@@ -131,21 +146,24 @@ bool ReadProgramText(const std::string& file, std::string* text) {
   return true;
 }
 
-int Classify(core::SymbolTable* symbols, const tgd::Program& p) {
-  tgd::TgdClass clazz = tgd::Classify(p.tgds);
-  std::printf("class:        %s\n", tgd::TgdClassName(clazz));
-  std::printf("|Sigma|:      %zu TGDs\n", p.tgds.size());
-  std::printf("|sch(Sigma)|: %zu predicates\n",
-              p.tgds.SchemaPredicates().size());
-  std::printf("ar(Sigma):    %u\n", p.tgds.MaxArity(*symbols));
+int Classify(const api::Session& session) {
+  auto c = session.Classify();
+  if (!c.ok()) {
+    std::fprintf(stderr, "classify: %s\n", c.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("class:        %s\n", tgd::TgdClassName(c->tgd_class));
+  std::printf("|Sigma|:      %zu TGDs\n", c->num_tgds);
+  std::printf("|sch(Sigma)|: %zu predicates\n", c->num_schema_predicates);
+  std::printf("ar(Sigma):    %u\n", c->max_arity);
   std::printf("||Sigma||:    %llu\n",
-              static_cast<unsigned long long>(p.tgds.Norm(*symbols)));
-  std::printf("|D|:          %zu facts\n", p.database.size());
-  if (clazz != tgd::TgdClass::kGeneral) {
+              static_cast<unsigned long long>(c->norm));
+  std::printf("|D|:          %zu facts\n", c->num_facts);
+  if (c->has_bounds) {
     std::printf("d_C(Sigma):   %.6g   (depth bound, Section 5)\n",
-                termination::DepthBound(clazz, p.tgds, *symbols));
+                c->depth_bound);
     std::printf("f_C(Sigma):   %.6g   (|chase| <= |D| * f_C)\n",
-                termination::SizeFactor(clazz, p.tgds, *symbols));
+                c->size_factor);
   } else {
     std::printf("d_C/f_C:      n/a (not guarded; ChTrm undecidable, "
                 "Prop 4.2)\n");
@@ -153,96 +171,95 @@ int Classify(core::SymbolTable* symbols, const tgd::Program& p) {
   return 0;
 }
 
-int Decide(core::SymbolTable* symbols, const tgd::Program& p,
-           const Options& options) {
+int Decide(const api::Session& session, const CliOptions& options) {
   if (options.use_ucq) {
-    auto d = termination::DecideByUcq(symbols, p.tgds, p.database);
+    auto d = session.Decide(api::DecideMethod::kUcq);
     if (!d.ok()) {
       std::fprintf(stderr, "ucq decider: %s\n",
                    d.status().ToString().c_str());
       return 1;
     }
     std::printf("%s (via UCQ Q_Sigma, Theorems 6.6 / 7.7)\n",
-                termination::DecisionName(*d));
-    return *d == termination::Decision::kTerminates ? 0 : 1;
+                termination::DecisionName(d->decision));
+    return d->decision == termination::Decision::kTerminates ? 0 : 1;
   }
   if (options.use_naive) {
-    chase::ChaseOptions engine;
-    engine.use_delta = options.use_delta;
-    engine.use_position_index = options.use_position_index;
-    termination::NaiveDecision d = termination::DecideByChase(
-        symbols, p.tgds, p.database, options.max_atoms, engine);
+    auto d = session.Decide(api::DecideMethod::kBoundedChase);
+    if (!d.ok()) {
+      std::fprintf(stderr, "decider: %s\n",
+                   d.status().ToString().c_str());
+      return 1;
+    }
     std::printf("%s (via bounded chase: %llu atoms, maxdepth %u)\n",
-                termination::DecisionName(d.decision),
-                static_cast<unsigned long long>(d.atoms), d.max_depth);
-    return d.decision == termination::Decision::kTerminates ? 0 : 1;
+                termination::DecisionName(d->decision),
+                static_cast<unsigned long long>(d->atoms), d->max_depth);
+    return d->decision == termination::Decision::kTerminates ? 0 : 1;
   }
-  termination::AdvisorOptions aopt;
-  aopt.materialize = false;
-  aopt.use_delta = options.use_delta;
-  aopt.use_position_index = options.use_position_index;
-  auto report = termination::Advise(symbols, p.tgds, p.database, aopt);
-  if (!report.ok()) {
-    std::fprintf(stderr, "decider: %s\n",
-                 report.status().ToString().c_str());
+  auto d = session.Decide();
+  if (!d.ok()) {
+    std::fprintf(stderr, "decider: %s\n", d.status().ToString().c_str());
     return 1;
   }
   std::printf("%s (class %s, via %s)\n",
-              termination::DecisionName(report->decision),
-              tgd::TgdClassName(report->tgd_class),
-              report->method.c_str());
-  return report->decision == termination::Decision::kTerminates ? 0 : 1;
+              termination::DecisionName(d->decision),
+              tgd::TgdClassName(d->tgd_class), d->method.c_str());
+  return d->decision == termination::Decision::kTerminates ? 0 : 1;
 }
 
-int Chase(core::SymbolTable* symbols, const tgd::Program& p,
-          const Options& options) {
-  chase::ChaseOptions copt;
-  copt.variant = options.variant;
-  copt.max_atoms = options.max_atoms;
-  copt.use_delta = options.use_delta;
-  copt.use_position_index = options.use_position_index;
-  chase::ChaseResult r = chase::RunChase(symbols, p.tgds, p.database, copt);
-  std::printf("variant:    %s\n", chase::ChaseVariantName(options.variant));
-  std::printf("engine:     %s, %s\n",
-              copt.use_delta ? "delta (semi-naive)" : "full-scan",
-              copt.use_position_index ? "position-indexed"
-                                      : "predicate-scan");
-  std::printf("outcome:    %s\n", chase::ChaseOutcomeName(r.outcome));
-  std::printf("atoms:      %zu (|D| = %zu)\n", r.instance.size(),
-              p.database.size());
-  std::printf("maxdepth:   %u\n", r.stats.max_depth);
-  std::printf("triggers:   %llu fired, %llu satisfied-skipped\n",
-              static_cast<unsigned long long>(r.stats.triggers_fired),
-              static_cast<unsigned long long>(r.stats.triggers_satisfied));
-  std::printf("rounds:     %llu\n",
-              static_cast<unsigned long long>(r.stats.rounds));
-  std::printf("joins:      %llu probes, %llu delta seeds\n",
-              static_cast<unsigned long long>(r.stats.join_probes),
-              static_cast<unsigned long long>(r.stats.delta_atoms_scanned));
-  if (options.print_atoms) {
-    std::printf("%s", r.instance.ToSortedString(*symbols).c_str());
+int Chase(const api::Session& session, const CliOptions& options) {
+  auto run = session.Chase();
+  if (!run.ok()) {
+    std::fprintf(stderr, "chase: %s\n", run.status().ToString().c_str());
+    return 1;
   }
-  return r.Terminated() ? 0 : 1;
+  const chase::ChaseStats& stats = run->stats();
+  std::printf("variant:    %s\n",
+              chase::ChaseVariantName(session.options().variant));
+  std::printf("engine:     %s, %s\n",
+              session.options().use_delta ? "delta (semi-naive)"
+                                          : "full-scan",
+              session.options().use_position_index ? "position-indexed"
+                                                   : "predicate-scan");
+  std::printf("outcome:    %s\n", chase::ChaseOutcomeName(run->outcome()));
+  std::printf("atoms:      %zu (|D| = %zu)\n", run->instance().size(),
+              session.program().fact_count());
+  std::printf("maxdepth:   %u\n", stats.max_depth);
+  std::printf("triggers:   %llu fired, %llu satisfied-skipped\n",
+              static_cast<unsigned long long>(stats.triggers_fired),
+              static_cast<unsigned long long>(stats.triggers_satisfied));
+  std::printf("rounds:     %llu\n",
+              static_cast<unsigned long long>(stats.rounds));
+  std::printf("joins:      %llu probes, %llu delta seeds\n",
+              static_cast<unsigned long long>(stats.join_probes),
+              static_cast<unsigned long long>(stats.delta_atoms_scanned));
+  if (options.print_atoms) {
+    std::printf("%s", run->ToSortedString().c_str());
+  }
+  return run->Terminated() ? 0 : 1;
 }
 
-int Rewrite(core::SymbolTable* symbols, const tgd::Program& p,
-            const Options& options) {
+int Rewrite(const api::Program& program, const CliOptions& options) {
+  // The rewritings intern fresh predicates/variables: run them against a
+  // session-private copy of the program's frozen table.
+  core::SymbolTable symbols = program.symbols();
   if (options.mode == "simplify") {
-    rewrite::Simplifier simplifier(symbols);
-    auto simple = simplifier.SimplifyTgds(p.tgds);
+    rewrite::Simplifier simplifier(&symbols);
+    auto simple = simplifier.SimplifyTgds(program.tgds());
     if (!simple.ok()) {
       std::fprintf(stderr, "simplify: %s\n",
                    simple.status().ToString().c_str());
       return 1;
     }
-    core::Database simple_db = simplifier.SimplifyDatabase(p.database);
+    core::Database simple_db =
+        simplifier.SimplifyDatabase(program.database());
     std::printf("%s", tgd::ProgramToString(*simple, simple_db,
-                                           *symbols).c_str());
+                                           symbols).c_str());
     return 0;
   }
   rewrite::LinearizeOptions lopt;
   if (options.mode == "linearize") {
-    auto lin = rewrite::Linearize(p.database, p.tgds, symbols, lopt);
+    auto lin = rewrite::Linearize(program.database(), program.tgds(),
+                                  &symbols, lopt);
     if (!lin.ok()) {
       std::fprintf(stderr, "linearize: %s\n",
                    lin.status().ToString().c_str());
@@ -251,11 +268,12 @@ int Rewrite(core::SymbolTable* symbols, const tgd::Program& p,
     std::printf("%% %zu Sigma-types reachable from lin(D)\n",
                 lin->num_types);
     std::printf("%s", tgd::ProgramToString(lin->tgds, lin->database,
-                                           *symbols).c_str());
+                                           symbols).c_str());
     return 0;
   }
   if (options.mode == "gsimple") {
-    auto gs = rewrite::GSimplify(p.database, p.tgds, symbols, lopt);
+    auto gs = rewrite::GSimplify(program.database(), program.tgds(),
+                                 &symbols, lopt);
     if (!gs.ok()) {
       std::fprintf(stderr, "gsimple: %s\n",
                    gs.status().ToString().c_str());
@@ -265,7 +283,7 @@ int Rewrite(core::SymbolTable* symbols, const tgd::Program& p,
                 "simplification\n",
                 gs->num_types, gs->num_linear_tgds);
     std::printf("%s", tgd::ProgramToString(gs->tgds, gs->database,
-                                           *symbols).c_str());
+                                           symbols).c_str());
     return 0;
   }
   std::fprintf(stderr, "unknown rewrite mode '%s'\n",
@@ -273,10 +291,12 @@ int Rewrite(core::SymbolTable* symbols, const tgd::Program& p,
   return 2;
 }
 
-int Explain(core::SymbolTable* symbols, const tgd::Program& p) {
-  graph::WeakAcyclicityResult wa =
-      graph::CheckWeakAcyclicity(p.tgds, p.database, *symbols);
-  bool uniform = graph::IsUniformlyWeaklyAcyclic(p.tgds, *symbols);
+int Explain(const api::Program& program) {
+  const core::SymbolTable& symbols = program.symbols();
+  graph::WeakAcyclicityResult wa = graph::CheckWeakAcyclicity(
+      program.tgds(), program.database(), symbols);
+  bool uniform =
+      graph::IsUniformlyWeaklyAcyclic(program.tgds(), symbols);
   std::printf("uniformly weakly-acyclic:     %s\n",
               uniform ? "yes" : "no");
   std::printf("weakly-acyclic w.r.t. D:      %s\n",
@@ -284,7 +304,7 @@ int Explain(core::SymbolTable* symbols, const tgd::Program& p) {
   if (!wa.special_cycle_positions.empty()) {
     std::printf("positions on special cycles:  ");
     for (const core::Position& pos : wa.special_cycle_positions) {
-      std::printf("(%s,%u) ", symbols->predicate_name(pos.predicate).c_str(),
+      std::printf("(%s,%u) ", symbols.predicate_name(pos.predicate).c_str(),
                   pos.index + 1);
     }
     std::printf("\n");
@@ -292,12 +312,12 @@ int Explain(core::SymbolTable* symbols, const tgd::Program& p) {
   if (!wa.supported_witnesses.empty()) {
     std::printf("D-supported witnesses:        ");
     for (const core::Position& pos : wa.supported_witnesses) {
-      std::printf("(%s,%u) ", symbols->predicate_name(pos.predicate).c_str(),
+      std::printf("(%s,%u) ", symbols.predicate_name(pos.predicate).c_str(),
                   pos.index + 1);
     }
     std::printf("\n");
   }
-  tgd::TgdClass clazz = tgd::Classify(p.tgds);
+  tgd::TgdClass clazz = program.tgd_class();
   if (clazz == tgd::TgdClass::kSimpleLinear) {
     std::printf("=> Sigma in SL: WA w.r.t. D is exact (Theorem 6.4): "
                 "chase is %s\n",
@@ -314,31 +334,34 @@ int Explain(core::SymbolTable* symbols, const tgd::Program& p) {
 }
 
 int Main(int argc, char** argv) {
-  Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      Usage(argv[0]);
+      return 0;
+    }
+  }
+  CliOptions options;
   if (!ParseArgs(argc, argv, &options)) return Usage(argv[0]);
 
   std::string text;
   if (!ReadProgramText(options.file, &text)) return 1;
 
-  core::SymbolTable symbols;
-  auto program = tgd::ParseProgram(&symbols, text);
+  // Parse + validate + classify + join-plan exactly once; every command
+  // below is a cheap session over the frozen artifact.
+  auto program = api::Program::Parse(text);
   if (!program.ok()) {
     std::fprintf(stderr, "parse error: %s\n",
                  program.status().ToString().c_str());
     return 1;
   }
+  api::Session session(*program, options.session);
 
-  if (options.command == "classify") return Classify(&symbols, *program);
-  if (options.command == "decide") {
-    return Decide(&symbols, *program, options);
-  }
-  if (options.command == "chase") {
-    return Chase(&symbols, *program, options);
-  }
-  if (options.command == "rewrite") {
-    return Rewrite(&symbols, *program, options);
-  }
-  if (options.command == "explain") return Explain(&symbols, *program);
+  if (options.command == "classify") return Classify(session);
+  if (options.command == "decide") return Decide(session, options);
+  if (options.command == "chase") return Chase(session, options);
+  if (options.command == "rewrite") return Rewrite(*program, options);
+  if (options.command == "explain") return Explain(*program);
   return Usage(argv[0]);
 }
 
