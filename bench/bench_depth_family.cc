@@ -16,7 +16,7 @@ void Run() {
   util::Table table("Prop 4.5 depth family",
                     {"n=|D_n|", "atoms(chase)", "maxdepth",
                      "paper(n-1)", "match", "join_probes",
-                     "delta_seeds"});
+                     "delta_seeds", "arena_bytes"});
   for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
     core::SymbolTable symbols;
     workload::Workload w = workload::MakeDepthFamily(&symbols, n);
@@ -28,7 +28,8 @@ void Run() {
                   std::to_string(n - 1),
                   result.stats.max_depth == n - 1 ? "yes" : "NO",
                   std::to_string(result.stats.join_probes),
-                  std::to_string(result.stats.delta_atoms_scanned)});
+                  std::to_string(result.stats.delta_atoms_scanned),
+                  std::to_string(result.stats.arena_bytes)});
   }
   bench::PrintTable(table);
 

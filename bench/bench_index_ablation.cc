@@ -71,7 +71,8 @@ void RunMatrix(const char* label, const MakeSetup& make_setup,
          cell.use_position_index ? "on" : "off",
          bench::FormatSeconds(seconds),
          std::to_string(r.stats.join_probes),
-         std::to_string(r.stats.delta_atoms_scanned), speedup,
+         std::to_string(r.stats.delta_atoms_scanned),
+         std::to_string(r.stats.arena_bytes), speedup,
          sorted == reference ? "yes" : "NO"});
   }
 }
@@ -85,7 +86,7 @@ void Run() {
   util::Table table("delta x position-index ablation",
                     {"workload", "|D|", "atoms", "delta", "posindex",
                      "time(s)", "join_probes", "delta_seeds",
-                     "vs delta+idx", "same result"});
+                     "arena_bytes", "vs delta+idx", "same result"});
 
   struct Scenario {
     const char* label;

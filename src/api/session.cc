@@ -33,6 +33,13 @@ util::StatusOr<ChaseRun> Session::Chase() const {
   ChaseRun run(program_);
   run.result_ = chase::RunChase(&run.overlay_, program_.tgds(),
                                 program_.database(), MakeChaseOptions());
+  if (run.result_.outcome == chase::ChaseOutcome::kResourceExhausted) {
+    // Budget outcomes (atom/depth/round/cancel) are useful prefixes and
+    // not errors; exhausting Term's null id space is — propagate it.
+    return util::Status::ResourceExhausted(
+        "chase exhausted the labelled-null id space (2^30 nulls per "
+        "run)");
+  }
   return run;
 }
 

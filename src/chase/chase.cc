@@ -40,6 +40,8 @@ const char* ChaseOutcomeName(ChaseOutcome outcome) {
       return "round-limit";
     case ChaseOutcome::kCancelled:
       return "cancelled";
+    case ChaseOutcome::kResourceExhausted:
+      return "resource-exhausted";
   }
   return "?";
 }
@@ -158,6 +160,10 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
   std::size_t delta_begin = 0;
   std::size_t delta_end = instance.size();
   std::vector<PendingTrigger> pending;
+  // Scratch tuple for the allocation-free probe/insert fast path: every
+  // h(atom) is substituted into this buffer and handed to the instance
+  // as a span; no Atom is materialized anywhere in the loop.
+  std::vector<Term> scratch;
 
   // The loop reports its outcome; the observer's OnDone fires on every
   // exit path alike, after the stats are final.
@@ -208,7 +214,9 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
           bool in_window = false;
           for (const Atom& body_atom : rule.body()) {
             AtomIndex idx = 0;
-            if (!instance.Find(ApplySubstitution(body_atom, h), &idx)) {
+            ApplySubstitutionInto(body_atom, h, &scratch);
+            if (!instance.FindTuple(body_atom.predicate,
+                                    core::TermSpan(scratch), &idx)) {
               return true;  // unreachable: h maps the body into I
             }
             if (idx >= delta_begin) {  // first non-old atom
@@ -246,9 +254,10 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
         if (!fired.insert(std::move(key)).second) return true;
         trig.guard_image = PendingTrigger::kNoGuard;
         if (rule.IsGuarded()) {
-          Atom guard_image = ApplySubstitution(rule.guard(), h);
+          ApplySubstitutionInto(rule.guard(), h, &scratch);
           AtomIndex gi = 0;
-          if (instance.Find(guard_image, &gi)) {
+          if (instance.FindTuple(rule.guard().predicate,
+                                 core::TermSpan(scratch), &gi)) {
             trig.guard_image = gi;
           }
         }
@@ -331,11 +340,21 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
         ++result.stats.triggers_fired;
         // Invent nulls for the existential variables.
         for (Term z : rule.existential()) {
-          Term null =
+          util::StatusOr<Term> null_or =
               options.variant == ChaseVariant::kOblivious
                   ? nulls.GetOrCreate(ti, z, trig.body_images,
                                       trig.frontier_images)
                   : nulls.GetOrCreate(ti, z, trig.frontier_images);
+          if (!null_or.ok()) {
+            // Null ids wrapped past Term's index space: stop with a
+            // consistent prefix instead of silently aliasing nulls. The
+            // trigger was counted as fired; keep OnFire parity.
+            if (options.observer != nullptr) {
+              options.observer->OnFire(trig.tgd_index, instance.size());
+            }
+            return ChaseOutcome::kResourceExhausted;
+          }
+          Term null = *null_or;
           std::uint32_t d = symbols->depth(null);
           result.stats.max_depth = std::max(result.stats.max_depth, d);
           if (options.max_depth != 0 && d > options.max_depth) {
@@ -349,11 +368,12 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
           h.emplace(z, null);
         }
         for (const Atom& head_atom : rule.head()) {
-          Atom derived = ApplySubstitution(head_atom, h);
-          auto [idx, fresh] = instance.Insert(std::move(derived));
+          ApplySubstitutionInto(head_atom, h, &scratch);
+          auto [idx, fresh] = instance.InsertTuple(
+              head_atom.predicate, core::TermSpan(scratch));
           if (fresh && options.build_forest) {
             std::uint32_t atom_depth = 0;
-            for (Term t : instance.atom(idx).args) {
+            for (Term t : instance.atom(idx).terms()) {
               atom_depth = std::max(atom_depth, symbols->depth(t));
             }
             if (trig.guard_image == PendingTrigger::kNoGuard) {
@@ -383,6 +403,9 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
 
   return ChaseOutcome::kTerminated;
   }();
+
+  result.stats.arena_bytes = instance.arena_bytes();
+  result.stats.peak_atoms = instance.size();
 
   if (options.observer != nullptr) {
     options.observer->OnDone(result.outcome, result.stats);

@@ -116,6 +116,10 @@ enum class ChaseOutcome {
   kDepthLimit,  ///< A term of depth > max_depth appeared.
   kRoundLimit,  ///< Round budget exhausted.
   kCancelled,   ///< CancelToken fired or the deadline budget elapsed.
+  /// The symbol space is exhausted: the run needed more labelled nulls
+  /// than Term can index (2^30 per scope). api::Session surfaces this as
+  /// a kResourceExhausted Status.
+  kResourceExhausted,
 };
 
 const char* ChaseOutcomeName(ChaseOutcome outcome);
@@ -137,6 +141,14 @@ struct ChaseStats {
   /// head-satisfaction checks. Counted in both engines — the number
   /// benches compare across the delta ablation.
   std::uint64_t join_probes = 0;
+  /// Bytes of term storage the result instance's columnar arena holds
+  /// (used bytes, not capacity). Deterministic for a given atom set, so
+  /// identical across engine ablations — the storage-layer counter
+  /// tools/check_bench_regression gates on.
+  std::uint64_t arena_bytes = 0;
+  /// Largest number of atoms the instance held during the run (the
+  /// instance only grows, so this equals its final size).
+  std::uint64_t peak_atoms = 0;
 };
 
 /// The result of a chase run: the constructed instance (equal to

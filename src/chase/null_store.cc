@@ -5,14 +5,14 @@
 namespace nuchase {
 namespace chase {
 
-core::Term NullStore::GetOrCreate(
+util::StatusOr<core::Term> NullStore::GetOrCreate(
     std::uint32_t tgd_index, core::Term existential_var,
     const std::vector<core::Term>& frontier_images) {
   return GetOrCreate(tgd_index, existential_var, frontier_images,
                      frontier_images);
 }
 
-core::Term NullStore::GetOrCreate(
+util::StatusOr<core::Term> NullStore::GetOrCreate(
     std::uint32_t tgd_index, core::Term existential_var,
     const std::vector<core::Term>& key_images,
     const std::vector<core::Term>& depth_images) {
@@ -29,9 +29,10 @@ core::Term NullStore::GetOrCreate(
   for (core::Term t : depth_images) {
     depth = std::max(depth, symbols_->depth(t));
   }
-  core::Term null = symbols_->MakeNull(depth + 1);
-  store_.emplace(std::move(key), null);
-  return null;
+  util::StatusOr<core::Term> null = symbols_->MakeNull(depth + 1);
+  if (!null.ok()) return null.status();
+  store_.emplace(std::move(key), *null);
+  return *null;
 }
 
 }  // namespace chase

@@ -8,6 +8,7 @@
 #include "core/symbol_table.h"
 #include "core/term.h"
 #include "util/hash.h"
+#include "util/status.h"
 
 namespace nuchase {
 namespace chase {
@@ -25,19 +26,20 @@ class NullStore {
   /// Returns the null ⊥^z_{σ, h|fr(σ)} for `tgd_index` (position of σ in
   /// Σ), `existential_var` z, and the frontier images h(fr(σ)) listed in
   /// the fixed (sorted-frontier) order. Depth is
-  /// 1 + max({depth(h(x)) | x ∈ fr(σ)} ∪ {0}).
-  core::Term GetOrCreate(std::uint32_t tgd_index,
-                         core::Term existential_var,
-                         const std::vector<core::Term>& frontier_images);
+  /// 1 + max({depth(h(x)) | x ∈ fr(σ)} ∪ {0}). Propagates the scope's
+  /// kResourceExhausted once null ids run out.
+  util::StatusOr<core::Term> GetOrCreate(
+      std::uint32_t tgd_index, core::Term existential_var,
+      const std::vector<core::Term>& frontier_images);
 
   /// Variant-agnostic form: the null's identity is keyed by `key_images`
   /// (the frontier images for the semi-oblivious chase, the full body
   /// images for the oblivious one), while its depth is always computed
   /// from `depth_images` = h(fr(σ)) per Definition 4.3.
-  core::Term GetOrCreate(std::uint32_t tgd_index,
-                         core::Term existential_var,
-                         const std::vector<core::Term>& key_images,
-                         const std::vector<core::Term>& depth_images);
+  util::StatusOr<core::Term> GetOrCreate(
+      std::uint32_t tgd_index, core::Term existential_var,
+      const std::vector<core::Term>& key_images,
+      const std::vector<core::Term>& depth_images);
 
   std::size_t size() const { return store_.size(); }
 

@@ -14,14 +14,23 @@ using core::Instance;
 using core::Term;
 
 Atom ApplySubstitution(const Atom& atom, const Substitution& h) {
-  Atom out = atom;
-  for (Term& t : out.args) {
+  Atom out;
+  out.predicate = atom.predicate;
+  ApplySubstitutionInto(atom, h, &out.args);
+  return out;
+}
+
+void ApplySubstitutionInto(const Atom& atom, const Substitution& h,
+                           std::vector<Term>* out) {
+  out->clear();
+  out->reserve(atom.args.size());
+  for (Term t : atom.args) {
     if (t.IsVariable()) {
       auto it = h.find(t);
       if (it != h.end()) t = it->second;
     }
+    out->push_back(t);
   }
-  return out;
 }
 
 std::vector<std::size_t> PlanJoinOrder(const std::vector<Atom>& body,
@@ -68,10 +77,10 @@ std::vector<std::size_t> PlanJoinOrder(const std::vector<Atom>& body,
   return order;
 }
 
-bool HomomorphismFinder::Match(const Atom& pattern, const Atom& fact,
+bool HomomorphismFinder::Match(const Atom& pattern,
+                               const core::Term* fact_terms,
                                Substitution* h,
                                std::vector<Term>* trail) const {
-  assert(pattern.predicate == fact.predicate);
   if (probe_counter_ != nullptr) ++*probe_counter_;
   if (interrupt_ != nullptr && (++interrupt_tick_ & 1023u) == 0 &&
       (*interrupt_)()) {
@@ -80,7 +89,7 @@ bool HomomorphismFinder::Match(const Atom& pattern, const Atom& fact,
   const std::size_t trail_start = trail->size();
   for (std::size_t i = 0; i < pattern.args.size(); ++i) {
     Term p = pattern.args[i];
-    Term f = fact.args[i];
+    Term f = fact_terms[i];
     if (p.IsVariable()) {
       auto it = h->find(p);
       if (it == h->end()) {
@@ -114,13 +123,13 @@ void HomomorphismFinder::Enumerate(
   std::vector<Term> trail;
 
   if (seed_atom >= 0) {
-    const Atom& fact = instance_.atom(seed_target);
+    core::AtomView fact = instance_.atom(seed_target);
     if (atoms[static_cast<std::size_t>(seed_atom)].predicate !=
-        fact.predicate) {
+        fact.predicate()) {
       return;
     }
-    if (!Match(atoms[static_cast<std::size_t>(seed_atom)], fact, &h,
-               &trail)) {
+    if (!Match(atoms[static_cast<std::size_t>(seed_atom)],
+               instance_.TupleData(seed_target), &h, &trail)) {
       return;
     }
     done[static_cast<std::size_t>(seed_atom)] = true;
@@ -200,7 +209,7 @@ bool HomomorphismFinder::Recurse(
   for (std::size_t c = 0; c < best_count; ++c) {
     AtomIndex idx = (*best_candidates)[c];
     trail.clear();
-    bool matched = Match(atoms[best], instance_.atom(idx), h, &trail);
+    bool matched = Match(atoms[best], instance_.TupleData(idx), h, &trail);
     if (interrupted_) {
       for (std::size_t k = trail.size(); k > 0; --k) {
         h->erase(trail[k - 1]);

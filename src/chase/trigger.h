@@ -18,6 +18,13 @@ using Substitution = std::unordered_map<core::Term, core::Term>;
 /// Applies a substitution to an atom; unbound variables are kept as-is.
 core::Atom ApplySubstitution(const core::Atom& atom, const Substitution& h);
 
+/// Allocation-free form: writes h(atom)'s argument tuple into `*out`
+/// (cleared first). The chase engine's insert/probe fast path: the
+/// resulting span goes straight into Instance::InsertTuple / FindTuple
+/// without ever materializing an Atom.
+void ApplySubstitutionInto(const core::Atom& atom, const Substitution& h,
+                           std::vector<core::Term>* out);
+
 /// Static body-atom reordering for semi-naive (delta-seeded) matching:
 /// returns a permutation of [0, body.size()) that starts with `seed_pos`
 /// and greedily appends the atom sharing the most variables with the
@@ -93,10 +100,12 @@ class HomomorphismFinder {
                  const std::function<bool(const Substitution&)>& cb) const;
 
  private:
-  /// Tries to unify `pattern` against the concrete instance atom `fact`,
-  /// extending `h`. Returns false (and leaves `h` unchanged modulo the
-  /// recorded trail) on mismatch.
-  bool Match(const core::Atom& pattern, const core::Atom& fact,
+  /// Tries to unify `pattern` against the concrete instance atom whose
+  /// argument tuple starts at `fact_terms` (a pointer straight into the
+  /// instance's term arena; the fact's predicate — and hence arity —
+  /// must already equal the pattern's), extending `h`. Returns false
+  /// (and leaves `h` unchanged modulo the recorded trail) on mismatch.
+  bool Match(const core::Atom& pattern, const core::Term* fact_terms,
              Substitution* h, std::vector<core::Term>* trail) const;
 
   bool Recurse(const std::vector<core::Atom>& atoms,

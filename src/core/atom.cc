@@ -5,15 +5,28 @@
 namespace nuchase {
 namespace core {
 
-std::string Atom::ToString(const SymbolScope& symbols) const {
+namespace {
+
+std::string TupleToString(const SymbolScope& symbols, PredicateId predicate,
+                          TermSpan terms) {
   std::string out = symbols.predicate_name(predicate);
   out += '(';
-  for (std::size_t i = 0; i < args.size(); ++i) {
+  for (std::uint32_t i = 0; i < terms.size(); ++i) {
     if (i > 0) out += ", ";
-    out += symbols.TermToString(args[i]);
+    out += symbols.TermToString(terms[i]);
   }
   out += ')';
   return out;
+}
+
+}  // namespace
+
+std::string Atom::ToString(const SymbolScope& symbols) const {
+  return TupleToString(symbols, predicate, terms());
+}
+
+std::string AtomView::ToString(const SymbolScope& symbols) const {
+  return TupleToString(symbols, predicate_, terms());
 }
 
 }  // namespace core

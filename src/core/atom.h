@@ -11,9 +11,65 @@
 namespace nuchase {
 namespace core {
 
+/// A non-owning view of a contiguous run of terms (the argument tuple of
+/// one atom). Value-semantic and trivially copyable; the pointed-at
+/// storage must outlive the span. This is the currency of the columnar
+/// storage layer: probes, inserts and joins hand tuples around as spans,
+/// never as owning vectors.
+class TermSpan {
+ public:
+  TermSpan() : data_(nullptr), size_(0) {}
+  TermSpan(const Term* data, std::uint32_t size)
+      : data_(data), size_(size) {}
+  explicit TermSpan(const std::vector<Term>& v)
+      : data_(v.data()), size_(static_cast<std::uint32_t>(v.size())) {}
+
+  const Term* data() const { return data_; }
+  std::uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Term operator[](std::uint32_t i) const { return data_[i]; }
+  const Term* begin() const { return data_; }
+  const Term* end() const { return data_ + size_; }
+
+  bool operator==(const TermSpan& o) const {
+    if (size_ != o.size_) return false;
+    for (std::uint32_t i = 0; i < size_; ++i) {
+      if (data_[i] != o.data_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const TermSpan& o) const { return !(*this == o); }
+
+  std::vector<Term> ToVector() const {
+    return std::vector<Term>(begin(), end());
+  }
+
+ private:
+  const Term* data_;
+  std::uint32_t size_;
+};
+
+/// Hash of a (predicate, tuple) pair. The single hash recipe shared by
+/// the arena-probing dedup index of core::Instance and every caller that
+/// needs a tuple key — hashing a materialized Atom and hashing its span
+/// agree by construction. Every word passes through a full 64-bit mixer
+/// (splitmix64 finalizer): the open-addressing table indexes by the LOW
+/// bits of this value, so — unlike unordered_map's prime-modulo
+/// buckets — weak bits would turn directly into probe-chain clustering.
+inline std::size_t TupleHash(PredicateId predicate, TermSpan terms) {
+  std::uint64_t seed = util::Mix64(predicate);
+  for (Term t : terms) {
+    seed = util::Mix64(seed ^ t.bits());
+  }
+  return static_cast<std::size_t>(seed);
+}
+
 /// An atom R(t1,...,tn): a predicate applied to a tuple of terms
-/// (Section 2). Atoms over constants only are facts; atoms in TGDs use
-/// variables; chase instances mix constants and nulls.
+/// (Section 2). This owning form is the working currency of *formulas* —
+/// TGD bodies and heads, query atoms, database facts — where tuples are
+/// small, long-lived and carry variables. Chase instances do NOT store
+/// Atoms: they keep all tuples in a flat arena (core::Instance) and hand
+/// out AtomView handles.
 struct Atom {
   PredicateId predicate = kInvalidPredicate;
   std::vector<Term> args;
@@ -25,6 +81,9 @@ struct Atom {
   std::uint32_t arity() const {
     return static_cast<std::uint32_t>(args.size());
   }
+
+  /// The argument tuple as a span (valid while `args` is not mutated).
+  TermSpan terms() const { return TermSpan(args); }
 
   bool operator==(const Atom& o) const {
     return predicate == o.predicate && args == o.args;
@@ -49,12 +108,73 @@ struct Atom {
 
 struct AtomHash {
   std::size_t operator()(const Atom& a) const {
-    std::size_t seed = std::hash<std::uint32_t>{}(a.predicate);
-    for (Term t : a.args) {
-      util::HashCombine(&seed, std::hash<std::uint32_t>{}(t.bits()));
-    }
-    return seed;
+    return TupleHash(a.predicate, a.terms());
   }
+};
+
+/// A stable, cheap handle to one atom of an Instance: its predicate plus
+/// the offset of its argument tuple in the instance's term arena. Offsets
+/// are assigned at insertion and never move, so an AtomRef stays valid
+/// for the lifetime of the instance regardless of later growth. The
+/// predicate's (fixed) arity rides along in otherwise-padding bytes so
+/// resolving a ref to its tuple is a single 16-byte load — the join
+/// kernel probes millions of refs; a second dependent lookup per probe
+/// is measurable.
+struct AtomRef {
+  std::uint64_t offset = 0;
+  PredicateId predicate = kInvalidPredicate;
+  std::uint32_t arity = 0;
+
+  AtomRef() = default;
+  AtomRef(PredicateId pred, std::uint64_t off, std::uint32_t n)
+      : offset(off), predicate(pred), arity(n) {}
+};
+
+/// A non-owning view of one stored atom: predicate + argument tuple read
+/// directly out of the owning instance's arena. Views resolve the arena
+/// through the vector object (not a raw buffer pointer), so inserting
+/// into the instance — which may reallocate the arena — does NOT
+/// invalidate previously obtained views; only destroying or moving the
+/// owning Instance does.
+class AtomView {
+ public:
+  AtomView() : arena_(nullptr) {}
+  AtomView(const std::vector<Term>* arena, PredicateId predicate,
+           std::uint64_t offset, std::uint32_t arity)
+      : arena_(arena), offset_(offset), predicate_(predicate),
+        arity_(arity) {}
+
+  PredicateId predicate() const { return predicate_; }
+  std::uint32_t arity() const { return arity_; }
+  Term arg(std::uint32_t i) const { return (*arena_)[offset_ + i]; }
+
+  /// The argument tuple as a raw span. Unlike the view itself, the span
+  /// points straight into the arena buffer and is invalidated by the
+  /// next insert into the owning instance — resolve it late, use it
+  /// immediately (the join kernel's pattern).
+  TermSpan terms() const {
+    return TermSpan(arena_->data() + offset_, arity_);
+  }
+
+  /// True iff every argument is a constant.
+  bool IsFact() const {
+    for (std::uint32_t i = 0; i < arity_; ++i) {
+      if (!arg(i).IsConstant()) return false;
+    }
+    return true;
+  }
+
+  /// Materializes an owning Atom (copying the tuple out of the arena).
+  Atom ToAtom() const { return Atom(predicate_, terms().ToVector()); }
+
+  /// Renders the atom with the given symbol table, e.g. "R(a, _:n3)".
+  std::string ToString(const SymbolScope& symbols) const;
+
+ private:
+  const std::vector<Term>* arena_;
+  std::uint64_t offset_ = 0;
+  PredicateId predicate_ = kInvalidPredicate;
+  std::uint32_t arity_ = 0;
 };
 
 }  // namespace core

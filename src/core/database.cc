@@ -25,7 +25,9 @@ util::Status Database::AddFact(SymbolTable* symbols,
   std::vector<Term> args;
   args.reserve(constants.size());
   for (const std::string& c : constants) {
-    args.push_back(symbols->InternConstant(c));
+    auto constant = symbols->InternConstant(c);
+    if (!constant.ok()) return constant.status();
+    args.push_back(*constant);
   }
   return AddFact(Atom(*pred, std::move(args)));
 }

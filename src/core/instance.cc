@@ -1,26 +1,93 @@
 #include "core/instance.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace nuchase {
 namespace core {
 
 const std::vector<AtomIndex> Instance::kEmpty;
+constexpr AtomIndex Instance::kEmptySlot;
+constexpr std::uint32_t Instance::kUnknownArity;
 
-std::pair<AtomIndex, bool> Instance::Insert(Atom atom) {
-  auto it = index_.find(atom);
-  if (it != index_.end()) return {it->second, false};
-  AtomIndex idx = static_cast<AtomIndex>(atoms_.size());
-  by_predicate_[atom.predicate].push_back(idx);
-  for (std::uint32_t i = 0; i < atom.arity(); ++i) {
-    by_position_[PosKey{atom.predicate, i, atom.args[i]}].push_back(idx);
+std::size_t Instance::ProbeSlot(PredicateId pred, TermSpan terms,
+                                std::size_t hash) const {
+  std::size_t slot = hash & slot_mask_;
+  while (true) {
+    AtomIndex idx = slots_[slot];
+    if (idx == kEmptySlot || TupleAt(idx, pred, terms)) return slot;
+    slot = (slot + 1) & slot_mask_;
+  }
+}
+
+void Instance::GrowSlots() {
+  std::size_t new_size = slots_.empty() ? 64 : slots_.size() * 2;
+  slots_.assign(new_size, kEmptySlot);
+  slot_mask_ = new_size - 1;
+  for (AtomIndex idx = 0; idx < refs_.size(); ++idx) {
+    const AtomRef& ref = refs_[idx];
+    TermSpan tuple(arena_.data() + ref.offset, ref.arity);
+    std::size_t slot = TupleHash(ref.predicate, tuple) & slot_mask_;
+    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & slot_mask_;
+    slots_[slot] = idx;
+  }
+}
+
+bool Instance::FindTuple(PredicateId pred, TermSpan terms,
+                         AtomIndex* index) const {
+  if (slots_.empty()) return false;
+  std::size_t slot = ProbeSlot(pred, terms, TupleHash(pred, terms));
+  if (slots_[slot] == kEmptySlot) return false;
+  *index = slots_[slot];
+  return true;
+}
+
+std::pair<AtomIndex, bool> Instance::InsertTuple(PredicateId pred,
+                                                 TermSpan terms) {
+  // Keep the load factor below ~0.75 (counting the insert to come).
+  if ((refs_.size() + 1) * 4 >= slots_.size() * 3) GrowSlots();
+
+  std::size_t hash = TupleHash(pred, terms);
+  std::size_t slot = ProbeSlot(pred, terms, hash);
+  if (slots_[slot] != kEmptySlot) return {slots_[slot], false};
+
+  if (pred >= pred_arity_.size()) {
+    pred_arity_.resize(pred + 1, kUnknownArity);
+  }
+  if (pred_arity_[pred] == kUnknownArity) {
+    pred_arity_[pred] = terms.size();
+  }
+  assert(pred_arity_[pred] == terms.size() &&
+         "predicate arity is fixed per Instance");
+
+  // Append the tuple to the arena. `terms` may alias the arena itself
+  // (re-inserting a view's tuple), and growth would invalidate it:
+  // translate an aliasing span to its offset, reserve, then re-derive.
+  const std::uint64_t offset = arena_.size();
+  const Term* src = terms.data();
+  const std::uint32_t n = terms.size();
+  if (src >= arena_.data() && src < arena_.data() + arena_.size()) {
+    std::uint64_t src_offset = static_cast<std::uint64_t>(
+        src - arena_.data());
+    arena_.resize(arena_.size() + n);
+    src = arena_.data() + src_offset;
+    std::copy(src, src + n, arena_.begin() + offset);
+  } else {
+    arena_.insert(arena_.end(), src, src + n);
+  }
+
+  AtomIndex idx = static_cast<AtomIndex>(refs_.size());
+  refs_.emplace_back(pred, offset, n);
+  slots_[slot] = idx;
+
+  by_predicate_[pred].push_back(idx);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    by_position_[PosKey{pred, i, arena_[offset + i]}].push_back(idx);
   }
   if (track_delta_) {
-    delta_next_[atom.predicate].push_back(idx);
+    delta_next_[pred].push_back(idx);
     ++delta_next_size_;
   }
-  index_.emplace(atom, idx);
-  atoms_.push_back(std::move(atom));
   return {idx, true};
 }
 
@@ -51,18 +118,23 @@ const std::vector<AtomIndex>& Instance::AtomsWithTermAt(PredicateId pred,
   return it == by_position_.end() ? kEmpty : it->second;
 }
 
-std::unordered_set<Term> Instance::ActiveDomain() const {
-  std::unordered_set<Term> dom;
-  for (const Atom& a : atoms_) {
-    for (Term t : a.args) dom.insert(t);
+const std::vector<Term>& Instance::ActiveDomain() const {
+  // Catch the cache up over the terms appended since the last call;
+  // arena order is insertion order, so first-occurrence order is
+  // deterministic.
+  for (; domain_scanned_ < arena_.size(); ++domain_scanned_) {
+    Term t = arena_[domain_scanned_];
+    if (domain_seen_.insert(t).second) domain_.push_back(t);
   }
-  return dom;
+  return domain_;
 }
 
 std::string Instance::ToSortedString(const SymbolScope& symbols) const {
   std::vector<std::string> lines;
-  lines.reserve(atoms_.size());
-  for (const Atom& a : atoms_) lines.push_back(a.ToString(symbols));
+  lines.reserve(refs_.size());
+  for (AtomIndex i = 0; i < refs_.size(); ++i) {
+    lines.push_back(atom(i).ToString(symbols));
+  }
   std::sort(lines.begin(), lines.end());
   std::string out;
   for (const std::string& l : lines) {

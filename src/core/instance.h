@@ -16,35 +16,86 @@ namespace core {
 /// Index of an atom within an Instance, in insertion order.
 using AtomIndex = std::uint32_t;
 
-/// A (finite prefix of an) instance: a duplicate-free, insertion-ordered set
-/// of atoms over constants and nulls, with the per-predicate and
-/// per-(predicate, position, term) indexes the chase engine joins against
-/// (the "VLog-style" storage layer).
+/// A (finite prefix of an) instance: a duplicate-free, insertion-ordered
+/// set of atoms over constants and nulls, stored columnar ("VLog-style"):
+///
+///   - one flat term arena (`std::vector<Term>`) holds every argument
+///     tuple back to back in insertion order — no per-atom heap
+///     allocation, ~4 bytes per term plus a fixed per-atom handle;
+///   - a directory of AtomRefs (predicate + arena offset) maps AtomIndex
+///     to its tuple; arity is fixed per predicate, learned at the first
+///     insert of that predicate, so a ref fully determines the row
+///     extent;
+///   - dedup is an open-addressing hash set of AtomIndexes keyed by
+///     (predicate, tuple) that probes the arena directly — Contains /
+///     Find / Insert never materialize an Atom;
+///   - the per-predicate and per-(predicate, position, term) lists the
+///     chase engine joins against, plus the two-generation delta index
+///     of the semi-naive engine, are layered on top as index structures.
+///
+/// Atoms are exposed as AtomView handles (see core/atom.h): views stay
+/// valid across later inserts (offsets are stable and the arena is
+/// resolved through the vector object); only destroying or moving the
+/// Instance invalidates them.
 class Instance {
  public:
   Instance() = default;
 
-  /// Inserts an atom. Returns its index and whether it was new.
-  std::pair<AtomIndex, bool> Insert(Atom atom);
+  /// The fast path: inserts the tuple `pred(terms...)` without
+  /// materializing an Atom. Returns the atom's index and whether it was
+  /// new. `terms` may alias this instance's own arena (re-inserting a
+  /// view's tuple is safe). The tuple's size must equal the arity every
+  /// earlier tuple of `pred` had.
+  std::pair<AtomIndex, bool> InsertTuple(PredicateId pred, TermSpan terms);
 
+  /// Convenience wrapper over InsertTuple for materialized atoms.
+  std::pair<AtomIndex, bool> Insert(const Atom& atom) {
+    return InsertTuple(atom.predicate, atom.terms());
+  }
+
+  bool ContainsTuple(PredicateId pred, TermSpan terms) const {
+    AtomIndex ignored;
+    return FindTuple(pred, terms, &ignored);
+  }
   bool Contains(const Atom& atom) const {
-    return index_.find(atom) != index_.end();
+    return ContainsTuple(atom.predicate, atom.terms());
   }
 
-  /// Finds the index of an atom; returns false if absent.
+  /// Finds the index of a tuple by probing the arena; returns false if
+  /// absent.
+  bool FindTuple(PredicateId pred, TermSpan terms, AtomIndex* index) const;
   bool Find(const Atom& atom, AtomIndex* index) const {
-    auto it = index_.find(atom);
-    if (it == index_.end()) return false;
-    *index = it->second;
-    return true;
+    return FindTuple(atom.predicate, atom.terms(), index);
   }
 
-  const Atom& atom(AtomIndex i) const { return atoms_[i]; }
-  std::size_t size() const { return atoms_.size(); }
-  bool empty() const { return atoms_.empty(); }
+  /// A view of the i-th atom (insertion order). Cheap; resolve freely.
+  AtomView atom(AtomIndex i) const {
+    const AtomRef& ref = refs_[i];
+    return AtomView(&arena_, ref.predicate, ref.offset, ref.arity);
+  }
+
+  /// Raw pointer to the i-th atom's argument tuple in the arena — the
+  /// join kernel's per-probe accessor (a single dependent load).
+  /// Invalidated by the next insert; see AtomView for the stable form.
+  const Term* TupleData(AtomIndex i) const {
+    return arena_.data() + refs_[i].offset;
+  }
+
+  std::size_t size() const { return refs_.size(); }
+  bool empty() const { return refs_.empty(); }
 
   /// All atom indexes with the given predicate (empty if none).
   const std::vector<AtomIndex>& AtomsWithPredicate(PredicateId pred) const;
+
+  /// Arity of a predicate as stored here; 0 if `pred` has no atoms yet
+  /// and no arity was recorded. A populated 0-ary predicate also
+  /// returns 0 — ask AtomsWithPredicate(pred).empty() to distinguish
+  /// "unseen" from "nullary".
+  std::uint32_t PredicateArity(PredicateId pred) const {
+    if (pred >= pred_arity_.size()) return 0;
+    std::uint32_t arity = pred_arity_[pred];
+    return arity == kUnknownArity ? 0 : arity;
+  }
 
   /// Turns on the per-predicate delta index used by the semi-naive chase
   /// engine: every subsequent Insert of a fresh atom is recorded in the
@@ -75,18 +126,63 @@ class Instance {
                                                 Term t) const;
 
   /// dom(I): the active domain (constants and nulls occurring in the
-  /// instance).
-  std::unordered_set<Term> ActiveDomain() const;
+  /// instance). Maintained incrementally behind an arena watermark:
+  /// each call only scans terms appended since the previous call, so
+  /// the total work over any insert/read interleaving is O(arena) —
+  /// and inserts themselves pay nothing for it. Deterministic
+  /// iteration order: first occurrence in the insertion sequence.
+  /// (Catch-up mutates cache members; do not call concurrently on a
+  /// shared Instance.)
+  const std::vector<Term>& ActiveDomain() const;
 
-  /// All atoms, in insertion order.
-  const std::vector<Atom>& atoms() const { return atoms_; }
+  // Memory accounting ------------------------------------------------------
+
+  /// Bytes of term storage held in the arena (used, not capacity):
+  /// deterministic for a given atom set, the `arena_bytes` chase counter.
+  std::uint64_t arena_bytes() const {
+    return static_cast<std::uint64_t>(arena_.size()) * sizeof(Term);
+  }
+
+  /// Terms stored in the arena.
+  std::uint64_t arena_terms() const { return arena_.size(); }
 
   /// Sorted multi-line rendering (stable across runs), for tests and goldens.
   std::string ToSortedString(const SymbolScope& symbols) const;
 
  private:
-  std::vector<Atom> atoms_;
-  std::unordered_map<Atom, AtomIndex, AtomHash> index_;
+  static constexpr AtomIndex kEmptySlot = 0xffffffffu;
+
+  /// Probes the open-addressing table for (pred, terms) with its
+  /// precomputed hash. Returns the slot holding the matching atom's
+  /// index, or the empty slot where it would be inserted.
+  std::size_t ProbeSlot(PredicateId pred, TermSpan terms,
+                        std::size_t hash) const;
+
+  /// Doubles the slot table and re-seats every atom (hashes are
+  /// recomputed from the arena).
+  void GrowSlots();
+
+  bool TupleAt(AtomIndex idx, PredicateId pred, TermSpan terms) const {
+    const AtomRef& ref = refs_[idx];
+    if (ref.predicate != pred) return false;
+    return TermSpan(arena_.data() + ref.offset, ref.arity) == terms;
+  }
+
+  // Columnar storage: the flat term arena plus the AtomIndex -> AtomRef
+  // directory. Tuples are appended back to back; atom i's tuple lives at
+  // [refs_[i].offset, refs_[i].offset + pred_arity_[refs_[i].predicate]).
+  std::vector<Term> arena_;
+  std::vector<AtomRef> refs_;
+  // predicate -> fixed arity, learned at first insert (kUnknownArity
+  // before that).
+  static constexpr std::uint32_t kUnknownArity = 0xffffffffu;
+  std::vector<std::uint32_t> pred_arity_;
+
+  // Open-addressing dedup set over (predicate, arena tuple). Slots hold
+  // AtomIndexes; keys are read straight from the arena on comparison.
+  std::vector<AtomIndex> slots_;
+  std::size_t slot_mask_ = 0;  // slots_.size() - 1 (power of two)
+
   // predicate -> atom indexes
   std::unordered_map<PredicateId, std::vector<AtomIndex>> by_predicate_;
   // (predicate, position) -> term -> atom indexes
@@ -107,6 +203,16 @@ class Instance {
     }
   };
   std::unordered_map<PosKey, std::vector<AtomIndex>, PosKeyHash> by_position_;
+
+  // Active-domain cache: `domain_` lists every distinct term of
+  // arena_[0, domain_scanned_) in first-occurrence order
+  // (deterministic), `domain_seen_` is the membership filter behind
+  // it. Caught up lazily by ActiveDomain() so the insert fast path
+  // never touches it; mutable because catch-up happens in the const
+  // accessor.
+  mutable std::vector<Term> domain_;
+  mutable std::unordered_set<Term> domain_seen_;
+  mutable std::uint64_t domain_scanned_ = 0;
 
   // Two-generation delta index (semi-naive evaluation): fresh inserts
   // land in delta_next_; AdvanceDelta() rotates next -> curr. Maintained

@@ -36,10 +36,15 @@ util::StatusOr<PredicateId> SymbolTable::FindPredicate(
   return it->second;
 }
 
-Term SymbolTable::InternConstant(const std::string& name) {
+util::StatusOr<Term> SymbolTable::InternConstant(const std::string& name) {
   auto it = constant_by_name_.find(name);
   if (it != constant_by_name_.end()) {
     return Term(TermKind::kConstant, it->second);
+  }
+  if (constant_names_.size() > Term::kIndexMask) {
+    return util::Status::ResourceExhausted(
+        "constant id space exhausted (2^30 distinct constants per "
+        "symbol table)");
   }
   std::uint32_t idx = static_cast<std::uint32_t>(constant_names_.size());
   constant_names_.push_back(name);
@@ -52,6 +57,8 @@ Term SymbolTable::InternVariable(const std::string& name) {
   if (it != variable_by_name_.end()) {
     return Term(TermKind::kVariable, it->second);
   }
+  assert(variable_names_.size() <= Term::kIndexMask &&
+         "variable id space exhausted");
   std::uint32_t idx = static_cast<std::uint32_t>(variable_names_.size());
   variable_names_.push_back(name);
   variable_by_name_.emplace(name, idx);
@@ -68,7 +75,11 @@ const std::string& SymbolTable::variable_name(Term t) const {
   return variable_names_[t.index()];
 }
 
-Term SymbolTable::MakeNull(std::uint32_t depth) {
+util::StatusOr<Term> SymbolTable::MakeNull(std::uint32_t depth) {
+  if (null_depths_.size() > Term::kIndexMask) {
+    return util::Status::ResourceExhausted(
+        "labelled-null id space exhausted (2^30 nulls per symbol table)");
+  }
   std::uint32_t idx = static_cast<std::uint32_t>(null_depths_.size());
   null_depths_.push_back(depth);
   return Term(TermKind::kNull, idx);
@@ -99,9 +110,14 @@ std::string SymbolTable::TermToString(Term t) const {
   return "?";
 }
 
-Term SymbolOverlay::MakeNull(std::uint32_t depth) {
-  std::uint32_t idx =
-      base_nulls_ + static_cast<std::uint32_t>(null_depths_.size());
+util::StatusOr<Term> SymbolOverlay::MakeNull(std::uint32_t depth) {
+  std::uint64_t next =
+      static_cast<std::uint64_t>(base_nulls_) + null_depths_.size();
+  if (next > Term::kIndexMask) {
+    return util::Status::ResourceExhausted(
+        "labelled-null id space exhausted (2^30 nulls per symbol scope)");
+  }
+  std::uint32_t idx = static_cast<std::uint32_t>(next);
   null_depths_.push_back(depth);
   return Term(TermKind::kNull, idx);
 }

@@ -32,8 +32,10 @@ class SymbolScope {
  public:
   virtual ~SymbolScope() = default;
 
-  /// Allocates a fresh labelled null with the given depth.
-  virtual Term MakeNull(std::uint32_t depth) = 0;
+  /// Allocates a fresh labelled null with the given depth. Fails with
+  /// kResourceExhausted once the scope has allocated all 2^30 null ids
+  /// Term can index — ids never silently wrap.
+  virtual util::StatusOr<Term> MakeNull(std::uint32_t depth) = 0;
 
   /// Depth of a term (Definition 4.3): 0 for constants, the recorded
   /// creation depth for nulls. Must not be called on variables.
@@ -80,9 +82,14 @@ class SymbolTable final : public SymbolScope {
 
   // Constants & variables ----------------------------------------------------
 
-  /// Interns a constant by name (idempotent).
-  Term InternConstant(const std::string& name);
-  /// Interns a variable by name (idempotent).
+  /// Interns a constant by name (idempotent). Fails with
+  /// kResourceExhausted once all 2^30 constant ids Term can index are
+  /// taken — ids never silently wrap past Term::kIndexBits.
+  util::StatusOr<Term> InternConstant(const std::string& name);
+  /// Interns a variable by name (idempotent). Variable ids are bounded
+  /// by the distinct variable names of the (finite) input program, so
+  /// unlike constants/nulls this cannot realistically exhaust Term's
+  /// index space; overflow is asserted, not surfaced.
   Term InternVariable(const std::string& name);
 
   const std::string& constant_name(Term t) const;
@@ -98,7 +105,7 @@ class SymbolTable final : public SymbolScope {
   // Nulls --------------------------------------------------------------------
 
   /// Allocates a fresh labelled null with the given depth.
-  Term MakeNull(std::uint32_t depth) override;
+  util::StatusOr<Term> MakeNull(std::uint32_t depth) override;
 
   /// Depth of a term (Definition 4.3): 0 for constants, the recorded
   /// creation depth for nulls. Must not be called on variables.
@@ -144,7 +151,7 @@ class SymbolOverlay final : public SymbolScope {
   explicit SymbolOverlay(const SymbolTable& base)
       : base_(&base), base_nulls_(base.num_nulls()) {}
 
-  Term MakeNull(std::uint32_t depth) override;
+  util::StatusOr<Term> MakeNull(std::uint32_t depth) override;
   std::uint32_t depth(Term t) const override;
 
   std::uint32_t num_nulls() const override {

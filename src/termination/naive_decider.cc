@@ -93,6 +93,10 @@ NaiveDecision DecideByChase(core::SymbolTable* symbols,
       // An interrupted run certifies nothing in either direction.
       out.decision = Decision::kUnknown;
       break;
+    case chase::ChaseOutcome::kResourceExhausted:
+      // Ran out of null ids before any budget: certifies nothing.
+      out.decision = Decision::kUnknown;
+      break;
   }
   return out;
 }

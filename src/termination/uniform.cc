@@ -5,13 +5,14 @@
 namespace nuchase {
 namespace termination {
 
-core::Database MakeCriticalDatabase(core::SymbolTable* symbols,
-                                    const tgd::TgdSet& tgds,
-                                    const std::string& constant) {
+util::StatusOr<core::Database> MakeCriticalDatabase(
+    core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+    const std::string& constant) {
   core::Database db;
-  core::Term c = symbols->InternConstant(constant);
+  auto c = symbols->InternConstant(constant);
+  if (!c.ok()) return c.status();
   for (core::PredicateId pred : tgds.SchemaPredicates()) {
-    std::vector<core::Term> args(symbols->arity(pred), c);
+    std::vector<core::Term> args(symbols->arity(pred), *c);
     util::Status st = db.AddFact(core::Atom(pred, std::move(args)));
     (void)st;  // cannot fail: all arguments are constants
   }
@@ -20,8 +21,9 @@ core::Database MakeCriticalDatabase(core::SymbolTable* symbols,
 
 util::StatusOr<SyntacticDecision> DecideUniform(
     core::SymbolTable* symbols, const tgd::TgdSet& tgds) {
-  core::Database critical = MakeCriticalDatabase(symbols, tgds);
-  return Decide(symbols, tgds, critical);
+  auto critical = MakeCriticalDatabase(symbols, tgds);
+  if (!critical.ok()) return critical.status();
+  return Decide(symbols, tgds, *critical);
 }
 
 }  // namespace termination

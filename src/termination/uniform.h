@@ -21,9 +21,11 @@ namespace termination {
 /// homomorphically onto D_Σ, and semi-oblivious derivations transfer
 /// along homomorphisms. This turns the uniform problem into one
 /// non-uniform instance.
-core::Database MakeCriticalDatabase(core::SymbolTable* symbols,
-                                    const tgd::TgdSet& tgds,
-                                    const std::string& constant = "crit");
+/// Fails (kResourceExhausted, propagated from the symbol table) only if
+/// the constant id space is already exhausted.
+util::StatusOr<core::Database> MakeCriticalDatabase(
+    core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+    const std::string& constant = "crit");
 
 /// Uniform semi-oblivious chase termination: is Σ ∈ CT (i.e. Σ ∈ CT_D
 /// for every database D)? Decided as ChTrm(D_Σ, Σ) via the

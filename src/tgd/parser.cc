@@ -195,8 +195,13 @@ class Parser {
       std::vector<Term> args;
       args.reserve(r.args.size());
       for (const std::string& a : r.args) {
-        args.push_back(as_variables ? symbols_->InternVariable(a)
-                                    : symbols_->InternConstant(a));
+        if (as_variables) {
+          args.push_back(symbols_->InternVariable(a));
+        } else {
+          auto constant = symbols_->InternConstant(a);
+          if (!constant.ok()) return constant.status();
+          args.push_back(*constant);
+        }
       }
       out.emplace_back(*pred, std::move(args));
     }

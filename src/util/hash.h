@@ -15,6 +15,18 @@ inline void HashCombine(std::size_t* seed, std::size_t value) {
   *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
 }
 
+/// Full-avalanche 64-bit mixer (the splitmix64 finalizer): every input
+/// bit affects every output bit, including the low bits that
+/// power-of-two open-addressing tables index by.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 /// Hashes a contiguous range of integral values.
 template <typename It>
 std::size_t HashRange(It begin, It end, std::size_t seed = 0) {

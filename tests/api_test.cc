@@ -161,6 +161,19 @@ TEST(SessionTest, ChaseMatchesLegacyFreeFunction) {
   EXPECT_EQ(program->symbols().num_nulls(), 0u);
 }
 
+TEST(SessionTest, StatsSurfaceStorageCounters) {
+  auto program = api::Program::Parse(kQuickstart);
+  ASSERT_TRUE(program.ok());
+  auto run = api::Session(*program).Chase();
+  ASSERT_TRUE(run.ok());
+  // The memory counters describe the materialized instance exactly:
+  // peak_atoms is its size, arena_bytes its term storage.
+  EXPECT_EQ(run->stats().peak_atoms, run->instance().size());
+  EXPECT_EQ(run->stats().arena_bytes,
+            run->instance().arena_terms() * sizeof(core::Term));
+  EXPECT_GT(run->stats().arena_bytes, 0u);
+}
+
 TEST(SessionTest, ClassifyReportsPaperQuantities) {
   auto program = api::Program::Parse(kQuickstart);
   ASSERT_TRUE(program.ok());

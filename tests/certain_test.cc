@@ -38,8 +38,8 @@ TEST_F(CertainAnswersTest, InferredFactsAreCertain) {
   ASSERT_TRUE(answers.ok()) << answers.status().ToString();
   ASSERT_EQ(answers->size(), 2u);
   std::set<core::Term> got{(*answers)[0][0], (*answers)[1][0]};
-  EXPECT_TRUE(got.count(symbols_.InternConstant("eng")));
-  EXPECT_TRUE(got.count(symbols_.InternConstant("sales")));
+  EXPECT_TRUE(got.count(*symbols_.InternConstant("eng")));
+  EXPECT_TRUE(got.count(*symbols_.InternConstant("sales")));
 }
 
 TEST_F(CertainAnswersTest, NullWitnessesAreNotCertain) {
@@ -61,7 +61,7 @@ TEST_F(CertainAnswersTest, NullWitnessesAreNotCertain) {
   auto depts = CertainAnswers(&symbols_, p.tgds, p.database, which);
   ASSERT_TRUE(depts.ok());
   ASSERT_EQ(depts->size(), 1u);
-  EXPECT_EQ((*depts)[0][0], symbols_.InternConstant("sales"));
+  EXPECT_EQ((*depts)[0][0], *symbols_.InternConstant("sales"));
 }
 
 TEST_F(CertainAnswersTest, JoinsThroughInferredAtoms) {
@@ -111,12 +111,12 @@ TEST_F(CertainAnswersTest, ConstantsInQueryAtoms) {
       "Emp(alice, sales). Emp(bob, eng).\n"
       "Emp(x, d) -> Dept(d).\n");
   core::Term e = symbols_.InternVariable("qe");
-  AnswerQuery q{{MakeAtom("Emp", {e, symbols_.InternConstant("eng")})},
+  AnswerQuery q{{MakeAtom("Emp", {e, *symbols_.InternConstant("eng")})},
                 {e}};
   auto answers = CertainAnswers(&symbols_, p.tgds, p.database, q);
   ASSERT_TRUE(answers.ok());
   ASSERT_EQ(answers->size(), 1u);
-  EXPECT_EQ((*answers)[0][0], symbols_.InternConstant("bob"));
+  EXPECT_EQ((*answers)[0][0], *symbols_.InternConstant("bob"));
 }
 
 TEST_F(CertainAnswersTest, MonotoneInTheDatabase) {

@@ -55,14 +55,15 @@ TEST_F(ChaseTest, SemiObliviousNullReuseAcrossHeadAtoms) {
   ChaseResult result = RunChase(&symbols_, p.tgds, p.database);
   ASSERT_TRUE(result.Terminated());
   core::Term null;
-  for (const core::Atom& atom : result.instance.atoms()) {
-    if (symbols_.predicate_name(atom.predicate) == "S") {
-      null = atom.args[1];
+  for (core::AtomIndex i = 0; i < result.instance.size(); ++i) {
+    core::AtomView atom = result.instance.atom(i);
+    if (symbols_.predicate_name(atom.predicate()) == "S") {
+      null = atom.arg(1);
     }
   }
   auto t = symbols_.FindPredicate("T");
   ASSERT_TRUE(t.ok());
-  core::Term a = symbols_.InternConstant("a");
+  core::Term a = *symbols_.InternConstant("a");
   EXPECT_TRUE(result.instance.Contains(core::Atom(*t, {null, a})));
 }
 
@@ -307,14 +308,14 @@ TEST(NullStoreTest, KeysOnTgdVarAndFrontier) {
   NullStore store(&symbols);
   core::Term z1 = symbols.InternVariable("z1");
   core::Term z2 = symbols.InternVariable("z2");
-  core::Term a = symbols.InternConstant("a");
-  core::Term b = symbols.InternConstant("b");
+  core::Term a = *symbols.InternConstant("a");
+  core::Term b = *symbols.InternConstant("b");
 
-  core::Term n1 = store.GetOrCreate(0, z1, {a});
-  EXPECT_EQ(store.GetOrCreate(0, z1, {a}), n1);  // same key → same null
-  EXPECT_NE(store.GetOrCreate(0, z2, {a}), n1);  // different variable
-  EXPECT_NE(store.GetOrCreate(1, z1, {a}), n1);  // different TGD
-  EXPECT_NE(store.GetOrCreate(0, z1, {b}), n1);  // different frontier
+  core::Term n1 = *store.GetOrCreate(0, z1, {a});
+  EXPECT_EQ(*store.GetOrCreate(0, z1, {a}), n1);  // same key → same null
+  EXPECT_NE(*store.GetOrCreate(0, z2, {a}), n1);  // different variable
+  EXPECT_NE(*store.GetOrCreate(1, z1, {a}), n1);  // different TGD
+  EXPECT_NE(*store.GetOrCreate(0, z1, {b}), n1);  // different frontier
   EXPECT_EQ(store.size(), 4u);
 }
 
@@ -322,16 +323,16 @@ TEST(NullStoreTest, DepthIsOnePlusMaxFrontierDepth) {
   core::SymbolTable symbols;
   NullStore store(&symbols);
   core::Term z = symbols.InternVariable("z");
-  core::Term a = symbols.InternConstant("a");
+  core::Term a = *symbols.InternConstant("a");
 
-  core::Term n1 = store.GetOrCreate(0, z, {a});
+  core::Term n1 = *store.GetOrCreate(0, z, {a});
   EXPECT_EQ(symbols.depth(n1), 1u);
-  core::Term n2 = store.GetOrCreate(0, z, {n1});
+  core::Term n2 = *store.GetOrCreate(0, z, {n1});
   EXPECT_EQ(symbols.depth(n2), 2u);
-  core::Term n3 = store.GetOrCreate(0, z, {a, n2});
+  core::Term n3 = *store.GetOrCreate(0, z, {a, n2});
   EXPECT_EQ(symbols.depth(n3), 3u);
   // Empty frontier: depth 1 (= 1 + max(∅ ∪ {0})).
-  core::Term n4 = store.GetOrCreate(7, z, {});
+  core::Term n4 = *store.GetOrCreate(7, z, {});
   EXPECT_EQ(symbols.depth(n4), 1u);
 }
 
@@ -340,7 +341,7 @@ TEST(SubstitutionTest, ApplyLeavesUnboundVariables) {
   auto r = symbols.InternPredicate("R", 2);
   core::Term x = symbols.InternVariable("x");
   core::Term y = symbols.InternVariable("y");
-  core::Term a = symbols.InternConstant("a");
+  core::Term a = *symbols.InternConstant("a");
   Substitution h{{x, a}};
   core::Atom out = ApplySubstitution(core::Atom(*r, {x, y}), h);
   EXPECT_EQ(out.args[0], a);

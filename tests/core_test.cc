@@ -52,8 +52,8 @@ TEST(SymbolTableTest, FindPredicate) {
 
 TEST(SymbolTableTest, ConstantsAndVariablesAreInterned) {
   SymbolTable symbols;
-  Term a1 = symbols.InternConstant("a");
-  Term a2 = symbols.InternConstant("a");
+  Term a1 = *symbols.InternConstant("a");
+  Term a2 = *symbols.InternConstant("a");
   Term x = symbols.InternVariable("a");  // same text, different sort
   EXPECT_EQ(a1, a2);
   EXPECT_NE(a1, x);
@@ -63,9 +63,9 @@ TEST(SymbolTableTest, ConstantsAndVariablesAreInterned) {
 
 TEST(SymbolTableTest, NullDepths) {
   SymbolTable symbols;
-  Term n0 = symbols.MakeNull(0);
-  Term n3 = symbols.MakeNull(3);
-  Term c = symbols.InternConstant("c");
+  Term n0 = *symbols.MakeNull(0);
+  Term n3 = *symbols.MakeNull(3);
+  Term c = *symbols.InternConstant("c");
   EXPECT_EQ(symbols.depth(n0), 0u);
   EXPECT_EQ(symbols.depth(n3), 3u);
   EXPECT_EQ(symbols.depth(c), 0u);
@@ -75,8 +75,8 @@ TEST(SymbolTableTest, NullDepths) {
 TEST(AtomTest, EqualityAndIsFact) {
   SymbolTable symbols;
   auto r = symbols.InternPredicate("R", 2);
-  Term a = symbols.InternConstant("a");
-  Term n = symbols.MakeNull(1);
+  Term a = *symbols.InternConstant("a");
+  Term n = *symbols.MakeNull(1);
   Atom fact(*r, {a, a});
   Atom with_null(*r, {a, n});
   EXPECT_TRUE(fact.IsFact());
@@ -109,8 +109,8 @@ TEST(SchemaTest, AllPositions) {
 TEST(InstanceTest, InsertDeduplicates) {
   SymbolTable symbols;
   auto r = symbols.InternPredicate("R", 2);
-  Term a = symbols.InternConstant("a");
-  Term b = symbols.InternConstant("b");
+  Term a = *symbols.InternConstant("a");
+  Term b = *symbols.InternConstant("b");
   Instance inst;
   auto [i1, fresh1] = inst.Insert(Atom(*r, {a, b}));
   auto [i2, fresh2] = inst.Insert(Atom(*r, {a, b}));
@@ -125,9 +125,9 @@ TEST(InstanceTest, InsertDeduplicates) {
 TEST(InstanceTest, PositionIndex) {
   SymbolTable symbols;
   auto r = symbols.InternPredicate("R", 2);
-  Term a = symbols.InternConstant("a");
-  Term b = symbols.InternConstant("b");
-  Term c = symbols.InternConstant("c");
+  Term a = *symbols.InternConstant("a");
+  Term b = *symbols.InternConstant("b");
+  Term c = *symbols.InternConstant("c");
   Instance inst;
   inst.Insert(Atom(*r, {a, b}));
   inst.Insert(Atom(*r, {a, c}));
@@ -138,30 +138,34 @@ TEST(InstanceTest, PositionIndex) {
   EXPECT_EQ(inst.AtomsWithTermAt(*r, 1, a).size(), 0u);
 }
 
-TEST(InstanceTest, ActiveDomain) {
+TEST(InstanceTest, ActiveDomainIsIncrementalAndOrdered) {
   SymbolTable symbols;
   auto r = symbols.InternPredicate("R", 2);
-  Term a = symbols.InternConstant("a");
-  Term n = symbols.MakeNull(1);
+  Term a = *symbols.InternConstant("a");
+  Term b = *symbols.InternConstant("b");
+  Term n = *symbols.MakeNull(1);
   Instance inst;
   inst.Insert(Atom(*r, {a, n}));
-  auto dom = inst.ActiveDomain();
-  EXPECT_EQ(dom.size(), 2u);
-  EXPECT_TRUE(dom.count(a));
-  EXPECT_TRUE(dom.count(n));
+  // Maintained incrementally, in deterministic first-occurrence order.
+  EXPECT_EQ(inst.ActiveDomain(), (std::vector<Term>{a, n}));
+  inst.Insert(Atom(*r, {b, a}));
+  EXPECT_EQ(inst.ActiveDomain(), (std::vector<Term>{a, n, b}));
+  // Duplicate insert adds nothing.
+  inst.Insert(Atom(*r, {b, a}));
+  EXPECT_EQ(inst.ActiveDomain().size(), 3u);
 }
 
 TEST(InstanceTest, FindReturnsIndex) {
   SymbolTable symbols;
   auto r = symbols.InternPredicate("R", 1);
-  Term a = symbols.InternConstant("a");
+  Term a = *symbols.InternConstant("a");
   Instance inst;
   auto [idx, fresh] = inst.Insert(Atom(*r, {a}));
   ASSERT_TRUE(fresh);
   AtomIndex found = 999;
   EXPECT_TRUE(inst.Find(Atom(*r, {a}), &found));
   EXPECT_EQ(found, idx);
-  Term b = symbols.InternConstant("b");
+  Term b = *symbols.InternConstant("b");
   EXPECT_FALSE(inst.Find(Atom(*r, {b}), &found));
 }
 
@@ -171,7 +175,7 @@ TEST(DatabaseTest, RejectsNonGroundFacts) {
   Term x = symbols.InternVariable("x");
   Database db;
   EXPECT_FALSE(db.AddFact(Atom(*r, {x})).ok());
-  Term n = symbols.MakeNull(0);
+  Term n = *symbols.MakeNull(0);
   EXPECT_FALSE(db.AddFact(Atom(*r, {n})).ok());
 }
 
@@ -201,6 +205,115 @@ TEST(DatabaseTest, SortedStringIsStable) {
   ASSERT_TRUE(db.AddFact(&symbols, "B", {"b"}).ok());
   ASSERT_TRUE(db.AddFact(&symbols, "A", {"a"}).ok());
   EXPECT_EQ(db.ToSortedString(symbols), "A(a)\nB(b)\n");
+}
+
+TEST(InstanceTest, InsertTupleFastPathMatchesAtomWrapper) {
+  SymbolTable symbols;
+  auto r = symbols.InternPredicate("R", 2);
+  Term a = *symbols.InternConstant("a");
+  Term b = *symbols.InternConstant("b");
+  Instance inst;
+  std::vector<Term> tuple{a, b};
+  auto [i1, fresh1] = inst.InsertTuple(*r, TermSpan(tuple));
+  EXPECT_TRUE(fresh1);
+  // The wrapper and the fast path dedup against each other.
+  auto [i2, fresh2] = inst.Insert(Atom(*r, {a, b}));
+  EXPECT_FALSE(fresh2);
+  EXPECT_EQ(i1, i2);
+  AtomIndex found = 0;
+  EXPECT_TRUE(inst.FindTuple(*r, TermSpan(tuple), &found));
+  EXPECT_EQ(found, i1);
+  EXPECT_EQ(inst.PredicateArity(*r), 2u);
+}
+
+TEST(InstanceTest, AtomViewReadsTheArena) {
+  SymbolTable symbols;
+  auto r = symbols.InternPredicate("R", 2);
+  auto s = symbols.InternPredicate("S", 1);
+  Term a = *symbols.InternConstant("a");
+  Term b = *symbols.InternConstant("b");
+  Instance inst;
+  inst.Insert(Atom(*r, {a, b}));
+  inst.Insert(Atom(*s, {b}));
+  AtomView v0 = inst.atom(0);
+  AtomView v1 = inst.atom(1);
+  EXPECT_EQ(v0.predicate(), *r);
+  EXPECT_EQ(v0.arity(), 2u);
+  EXPECT_EQ(v0.arg(0), a);
+  EXPECT_EQ(v0.arg(1), b);
+  EXPECT_EQ(v0.ToString(symbols), "R(a, b)");
+  EXPECT_EQ(v0.ToAtom(), Atom(*r, {a, b}));
+  EXPECT_TRUE(v0.IsFact());
+  EXPECT_EQ(v1.predicate(), *s);
+  EXPECT_EQ(v1.arity(), 1u);
+  // Views survive later growth: offsets are stable and the arena is
+  // resolved through the owning vector.
+  for (int i = 0; i < 1000; ++i) {
+    inst.Insert(Atom(*s, {*symbols.InternConstant("c" + std::to_string(i))}));
+  }
+  EXPECT_EQ(v0.arg(1), b);
+  EXPECT_EQ(v1.arg(0), b);
+}
+
+TEST(InstanceTest, PredicateArityIsZeroForUnseenPredicates) {
+  SymbolTable symbols;
+  auto low = symbols.InternPredicate("Low", 2);
+  auto high = symbols.InternPredicate("High", 3);
+  Term a = *symbols.InternConstant("a");
+  Instance inst;
+  // Only the higher predicate id gets atoms: the arity table now spans
+  // the lower id without having recorded it.
+  inst.Insert(Atom(*high, {a, a, a}));
+  EXPECT_EQ(inst.PredicateArity(*high), 3u);
+  EXPECT_EQ(inst.PredicateArity(*low), 0u);
+  EXPECT_EQ(inst.PredicateArity(*high + 1000), 0u);
+}
+
+TEST(InstanceTest, ZeroAryPredicates) {
+  SymbolTable symbols;
+  auto p = symbols.InternPredicate("Alarm", 0);
+  Instance inst;
+  auto [idx, fresh] = inst.Insert(Atom(*p, {}));
+  EXPECT_TRUE(fresh);
+  EXPECT_FALSE(inst.Insert(Atom(*p, {})).second);
+  EXPECT_TRUE(inst.Contains(Atom(*p, {})));
+  EXPECT_EQ(inst.atom(idx).arity(), 0u);
+  EXPECT_EQ(inst.arena_terms(), 0u);
+}
+
+TEST(InstanceTest, ArenaAccountingIsExact) {
+  SymbolTable symbols;
+  auto r = symbols.InternPredicate("R", 3);
+  Term a = *symbols.InternConstant("a");
+  Instance inst;
+  EXPECT_EQ(inst.arena_bytes(), 0u);
+  inst.Insert(Atom(*r, {a, a, a}));
+  EXPECT_EQ(inst.arena_terms(), 3u);
+  EXPECT_EQ(inst.arena_bytes(), 3 * sizeof(Term));
+  inst.Insert(Atom(*r, {a, a, a}));  // duplicate: arena unchanged
+  EXPECT_EQ(inst.arena_terms(), 3u);
+}
+
+TEST(InstanceTest, DedupSurvivesSlotTableGrowth) {
+  SymbolTable symbols;
+  auto r = symbols.InternPredicate("R", 1);
+  Instance inst;
+  std::vector<Term> constants;
+  for (int i = 0; i < 500; ++i) {
+    Term c = *symbols.InternConstant("c" + std::to_string(i));
+    constants.push_back(c);
+    auto [idx, fresh] = inst.Insert(Atom(*r, {c}));
+    EXPECT_TRUE(fresh);
+    EXPECT_EQ(idx, static_cast<AtomIndex>(i));
+  }
+  // After many rehashes every atom is still found at its original index.
+  for (int i = 0; i < 500; ++i) {
+    AtomIndex found = 0;
+    ASSERT_TRUE(inst.Find(Atom(*r, {constants[i]}), &found));
+    EXPECT_EQ(found, static_cast<AtomIndex>(i));
+    EXPECT_FALSE(inst.Insert(Atom(*r, {constants[i]})).second);
+  }
+  EXPECT_EQ(inst.size(), 500u);
 }
 
 }  // namespace

@@ -94,6 +94,14 @@ TEST_P(DeltaDiffRandomTest, AllAblationCellsAgree) {
         EXPECT_EQ(cell.result.stats.triggers_fired,
                   reference.result.stats.triggers_fired)
             << label;
+        // The storage counters depend only on the materialized atom
+        // set, never on the engine that produced it.
+        EXPECT_EQ(cell.result.stats.arena_bytes,
+                  reference.result.stats.arena_bytes)
+            << label;
+        EXPECT_EQ(cell.result.stats.peak_atoms,
+                  reference.result.stats.peak_atoms)
+            << label;
       }
     }
   }

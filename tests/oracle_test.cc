@@ -21,11 +21,13 @@ std::set<core::Atom> CompleteViaChase(core::SymbolTable* symbols,
   EXPECT_TRUE(result.Terminated());
   auto dom = db.ActiveDomain();
   std::set<core::Atom> out;
-  for (const core::Atom& atom : result.instance.atoms()) {
+  for (core::AtomIndex i = 0; i < result.instance.size(); ++i) {
+    core::AtomView atom = result.instance.atom(i);
+    core::TermSpan terms = atom.terms();
     bool inside = std::all_of(
-        atom.args.begin(), atom.args.end(),
+        terms.begin(), terms.end(),
         [&](core::Term t) { return dom.count(t) > 0; });
-    if (inside) out.insert(atom);
+    if (inside) out.insert(atom.ToAtom());
   }
   return out;
 }

@@ -63,11 +63,11 @@ TEST_F(QueryTest, RepeatedVariablesEncodeEquality) {
 TEST_F(QueryTest, ConstantsMustMatchExactly) {
   auto color = symbols_.FindPredicate("Color");
   ASSERT_TRUE(color.ok());
-  core::Term red = symbols_.InternConstant("red");
+  core::Term red = *symbols_.InternConstant("red");
   core::Term x = symbols_.InternVariable("x");
   ConjunctiveQuery cq{{core::Atom(*color, {x, red})}};
   EXPECT_TRUE(Satisfies(instance_, cq));
-  core::Term green = symbols_.InternConstant("green");
+  core::Term green = *symbols_.InternConstant("green");
   ConjunctiveQuery none{{core::Atom(*color, {x, green})}};
   EXPECT_FALSE(Satisfies(instance_, none));
 }

@@ -43,7 +43,7 @@ core::Instance RandomInstance(core::SymbolTable* symbols,
     core::PredicateId pred = preds[Next(&rng) % preds.size()];
     std::vector<core::Term> args;
     for (std::uint32_t a = 0; a < symbols->arity(pred); ++a) {
-      args.push_back(symbols->InternConstant(
+      args.push_back(*symbols->InternConstant(
           "c" + std::to_string(Next(&rng) % constants)));
     }
     out.Insert(core::Atom(pred, std::move(args)));
@@ -58,11 +58,11 @@ TEST(InstanceIndexTest, PositionIndexAgreesWithFullScan) {
     for (std::uint32_t p = 0; p < symbols.num_predicates(); ++p) {
       for (std::uint32_t pos = 0; pos < symbols.arity(p); ++pos) {
         for (std::uint32_t c = 0; c < 12; ++c) {
-          core::Term t = symbols.InternConstant("c" + std::to_string(c));
+          core::Term t = *symbols.InternConstant("c" + std::to_string(c));
           std::vector<core::AtomIndex> scan;
           for (core::AtomIndex i = 0; i < inst.size(); ++i) {
-            const core::Atom& a = inst.atom(i);
-            if (a.predicate == p && a.args[pos] == t) scan.push_back(i);
+            core::AtomView a = inst.atom(i);
+            if (a.predicate() == p && a.arg(pos) == t) scan.push_back(i);
           }
           EXPECT_EQ(inst.AtomsWithTermAt(p, pos, t), scan)
               << "seed " << seed << " pred " << p << " pos " << pos;
@@ -76,8 +76,8 @@ TEST(InstanceIndexTest, InsertIsIdempotent) {
   core::SymbolTable symbols;
   core::Instance inst;
   auto pred = symbols.InternPredicate("R", 2);
-  core::Term a = symbols.InternConstant("a");
-  core::Term b = symbols.InternConstant("b");
+  core::Term a = *symbols.InternConstant("a");
+  core::Term b = *symbols.InternConstant("b");
   auto [i1, fresh1] = inst.Insert(core::Atom(*pred, {a, b}));
   auto [i2, fresh2] = inst.Insert(core::Atom(*pred, {a, b}));
   EXPECT_TRUE(fresh1);
@@ -132,8 +132,9 @@ TEST(UcqEvaluatorTest, AgreesWithBruteForceOnRandomInstances) {
     core::Term y = symbols.InternVariable("y");
     query::ConjunctiveQuery cq{{core::Atom(*p2, {x, y, x})}};
     bool brute = false;
-    for (const core::Atom& a : inst.atoms()) {
-      if (a.predicate == *p2 && a.args[0] == a.args[2]) brute = true;
+    for (core::AtomIndex i = 0; i < inst.size(); ++i) {
+      core::AtomView a = inst.atom(i);
+      if (a.predicate() == *p2 && a.arg(0) == a.arg(2)) brute = true;
     }
     query::UnionOfConjunctiveQueries ucq{{cq}};
     EXPECT_EQ(query::Satisfies(inst, ucq), brute) << "seed " << seed;

@@ -28,8 +28,8 @@ TEST(SimplifyAtomTest, CollapsesRepeatedTerms) {
   core::SymbolTable symbols;
   Simplifier simplifier(&symbols);
   auto r = symbols.InternPredicate("R", 3);
-  core::Term a = symbols.InternConstant("a");
-  core::Term b = symbols.InternConstant("b");
+  core::Term a = *symbols.InternConstant("a");
+  core::Term b = *symbols.InternConstant("b");
   core::Atom simple = simplifier.SimplifyAtom(core::Atom(*r, {a, b, a}));
   EXPECT_EQ(symbols.predicate_name(simple.predicate), "R[1,2,1]");
   EXPECT_EQ(symbols.arity(simple.predicate), 2u);

@@ -63,7 +63,7 @@ TEST_F(TgdTest, CreateRejectsEmptyParts) {
 
 TEST_F(TgdTest, CreateRejectsConstants) {
   auto r = symbols_.InternPredicate("R", 1);
-  core::Term a = symbols_.InternConstant("a");
+  core::Term a = *symbols_.InternConstant("a");
   core::Term x = symbols_.InternVariable("x");
   auto bad = Tgd::Create({core::Atom(*r, {a})}, {core::Atom(*r, {x})});
   EXPECT_FALSE(bad.ok());

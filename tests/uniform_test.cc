@@ -21,7 +21,7 @@ TEST(CriticalDatabaseTest, OneFactPerPredicate) {
   core::SymbolTable symbols;
   tgd::TgdSet tgds = ParseRules(
       &symbols, "R(x, y) -> S(y, z). S(x, y), T(x) -> U(x, y, w).");
-  core::Database crit = MakeCriticalDatabase(&symbols, tgds);
+  core::Database crit = *MakeCriticalDatabase(&symbols, tgds);
   EXPECT_EQ(crit.size(), 4u);  // R, S, T, U
   for (const core::Atom& fact : crit.facts()) {
     ASSERT_GE(fact.arity(), 1u);
@@ -34,7 +34,7 @@ TEST(CriticalDatabaseTest, OneFactPerPredicate) {
 TEST(CriticalDatabaseTest, EmptySigma) {
   core::SymbolTable symbols;
   tgd::TgdSet tgds;
-  EXPECT_TRUE(MakeCriticalDatabase(&symbols, tgds).empty());
+  EXPECT_TRUE(MakeCriticalDatabase(&symbols, tgds)->empty());
 }
 
 TEST(UniformDeciderTest, MatchesUniformWeakAcyclicityOnSL) {
@@ -78,7 +78,7 @@ TEST(UniformDeciderTest, Proposition45FamilyIsNotUniform) {
   workload::Workload w = workload::MakeDepthFamily(&symbols, 4);
   EXPECT_FALSE(DecideUniform(&symbols, w.tgds).ok());
 
-  core::Database crit = MakeCriticalDatabase(&symbols, w.tgds);
+  core::Database crit = *MakeCriticalDatabase(&symbols, w.tgds);
   chase::ChaseOptions options;
   options.max_atoms = 20000;
   chase::ChaseResult r = chase::RunChase(&symbols, w.tgds, crit, options);

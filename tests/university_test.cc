@@ -43,11 +43,11 @@ TEST(UniversityTest, EveryStudentGetsAnAdvisor) {
   ASSERT_TRUE(has_advisor.ok());
   std::set<core::Term> students;
   for (core::AtomIndex i : r.instance.AtomsWithPredicate(*student)) {
-    students.insert(r.instance.atom(i).args[0]);
+    students.insert(r.instance.atom(i).arg(0));
   }
   std::set<core::Term> advised;
   for (core::AtomIndex i : r.instance.AtomsWithPredicate(*has_advisor)) {
-    advised.insert(r.instance.atom(i).args[0]);
+    advised.insert(r.instance.atom(i).arg(0));
   }
   EXPECT_FALSE(students.empty());
   for (core::Term s : students) {

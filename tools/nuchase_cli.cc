@@ -232,6 +232,9 @@ int Chase(const api::Session& session, const CliOptions& options) {
   std::printf("joins:      %llu probes, %llu delta seeds\n",
               static_cast<unsigned long long>(stats.join_probes),
               static_cast<unsigned long long>(stats.delta_atoms_scanned));
+  std::printf("memory:     %llu arena bytes, %llu peak atoms\n",
+              static_cast<unsigned long long>(stats.arena_bytes),
+              static_cast<unsigned long long>(stats.peak_atoms));
   if (options.print_atoms) {
     std::printf("%s", run->ToSortedString().c_str());
   }
