@@ -17,6 +17,7 @@ chase::ChaseOptions Session::MakeChaseOptions() const {
   copt.build_forest = options_.build_forest;
   copt.use_delta = options_.use_delta;
   copt.use_position_index = options_.use_position_index;
+  copt.num_threads = options_.num_threads;
   copt.deadline_ms = options_.deadline_ms;
   copt.cancel = options_.cancel;
   copt.observer = options_.observer;
@@ -94,6 +95,7 @@ util::StatusOr<DecideResult> Session::Decide(DecideMethod method) const {
       aopt.max_atoms = options_.max_atoms;
       aopt.use_delta = options_.use_delta;
       aopt.use_position_index = options_.use_position_index;
+      aopt.num_threads = options_.num_threads;
       aopt.deadline_ms = options_.deadline_ms;
       aopt.cancel = options_.cancel;
       aopt.observer = options_.observer;
@@ -119,6 +121,7 @@ util::StatusOr<AdviseResult> Session::Advise() const {
   aopt.max_atoms = options_.max_atoms;
   aopt.use_delta = options_.use_delta;
   aopt.use_position_index = options_.use_position_index;
+  aopt.num_threads = options_.num_threads;
   aopt.deadline_ms = options_.deadline_ms;
   aopt.cancel = options_.cancel;
   aopt.observer = options_.observer;

@@ -38,6 +38,15 @@ struct SessionOptions {
   /// Engine ablation switches (results identical; cost differs).
   bool use_delta = true;
   bool use_position_index = true;
+  /// Worker count for the within-round parallel trigger engine,
+  /// forwarded to every chase this session runs (Chase(), Decide()'s
+  /// bounded-chase fallback, Advise()'s materialization). 1 = the
+  /// sequential engine, 0 = one worker per hardware thread, N = exactly
+  /// N workers; left unset it is sequential unless the NUCHASE_THREADS
+  /// environment variable raises it. Results are byte-identical for
+  /// every value — the knob trades wall-clock for cores, nothing else;
+  /// see chase::ChaseOptions::num_threads for the engine contract.
+  std::uint32_t num_threads = chase::kNumThreadsDefault;
   /// Record the guarded chase forest (Section 5) during Chase().
   bool build_forest = false;
   /// Advise(): materialize chase(D,Σ) when the decision is kTerminates.
@@ -76,6 +85,10 @@ struct SessionOptions {
   }
   SessionOptions& set_use_position_index(bool on) {
     use_position_index = on;
+    return *this;
+  }
+  SessionOptions& set_num_threads(std::uint32_t n) {
+    num_threads = n;
     return *this;
   }
   SessionOptions& set_build_forest(bool on) {

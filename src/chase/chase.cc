@@ -1,12 +1,18 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <thread>
 #include <unordered_set>
 
 #include "chase/null_store.h"
 #include "chase/trigger.h"
 #include "util/hash.h"
+#include "util/thread_pool.h"
 
 namespace nuchase {
 namespace chase {
@@ -44,6 +50,43 @@ const char* ChaseOutcomeName(ChaseOutcome outcome) {
       return "resource-exhausted";
   }
   return "?";
+}
+
+std::uint32_t ResolveNumThreads(const ChaseOptions& options) {
+  std::uint32_t n = options.num_threads;
+  if (n == kNumThreadsDefault) {
+    // Only the unset default is overridable from the environment (the
+    // hook CI uses to push every existing test through the parallel
+    // engine without touching call sites); every explicit setting —
+    // including an explicit 1 = sequential, which benches and
+    // differential tests rely on for their reference cells — wins.
+    n = 1;
+    const char* env = std::getenv("NUCHASE_THREADS");
+    if (env != nullptr) {
+      char* end = nullptr;
+      unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0 && v <= 256) {
+        n = static_cast<std::uint32_t>(v);
+      } else {
+        // A malformed value silently running sequential would hollow
+        // out the CI shards that exist to force the parallel engine —
+        // warn loudly (once per process) on stderr; stdout, which the
+        // golden tests compare, stays clean.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+          std::fprintf(stderr,
+                       "nuchase: ignoring invalid NUCHASE_THREADS='%s' "
+                       "(want an integer in [1, 256]); running "
+                       "sequential\n", env);
+        }
+      }
+    }
+  }
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  return n;
 }
 
 JoinPlanSet PlanJoins(const tgd::TgdSet& tgds) {
@@ -98,6 +141,80 @@ bool PendingBefore(const PendingTrigger& a, const PendingTrigger& b) {
   return a.body_images < b.body_images;
 }
 
+/// Within one rule, two candidates with equal (frontier, body) images
+/// are the same trigger (their dedup keys coincide), so PendingBefore is
+/// a total order on the deduplicated set and a weak order with
+/// duplicate-adjacency on the raw parallel candidate buffers — exactly
+/// what the merge needs: sort, then drop consecutive equals.
+bool SameTrigger(const PendingTrigger& a, const PendingTrigger& b) {
+  return a.frontier_images == b.frontier_images &&
+         a.body_images == b.body_images;
+}
+
+/// Builds the PendingTrigger for (σ_ti, h) and its dedup key — the one
+/// definition of trigger identity that the sequential engine, the
+/// parallel workers and the merge all share. Key: (σ, h|fr(σ)) for the
+/// semi-oblivious and restricted variants (result and
+/// head-satisfaction depend only on the frontier restriction), (σ, h)
+/// for the oblivious one.
+void FillPendingTrigger(const tgd::Tgd& rule, std::uint32_t ti,
+                        bool oblivious, const Substitution& h,
+                        PendingTrigger* trig,
+                        std::vector<std::uint32_t>* key) {
+  trig->tgd_index = ti;
+  trig->guard_image = PendingTrigger::kNoGuard;
+  const std::vector<Term>& frontier = rule.frontier();
+  trig->frontier_images.reserve(frontier.size());
+  for (Term v : frontier) trig->frontier_images.push_back(h.at(v));
+  key->clear();
+  key->push_back(ti);
+  if (oblivious) {
+    const std::vector<Term>& body_vars = rule.body_variables();
+    trig->body_images.reserve(body_vars.size());
+    for (Term v : body_vars) {
+      Term image = h.at(v);
+      key->push_back(image.bits());
+      trig->body_images.push_back(image);
+    }
+  } else {
+    for (Term image : trig->frontier_images) {
+      key->push_back(image.bits());
+    }
+  }
+}
+
+/// Rebuilds an already-built trigger's dedup key (the merge path, where
+/// h is no longer available). Consistent with FillPendingTrigger by
+/// construction: it reads the images that function stored.
+std::vector<std::uint32_t> FiredKeyOf(const PendingTrigger& trig,
+                                      bool oblivious) {
+  const std::vector<Term>& images =
+      oblivious ? trig.body_images : trig.frontier_images;
+  std::vector<std::uint32_t> key;
+  key.reserve(1 + images.size());
+  key.push_back(trig.tgd_index);
+  for (Term image : images) key.push_back(image.bits());
+  return key;
+}
+
+/// One delta-seeded enumeration task of the parallel collect phase:
+/// seed body position `seed_pos` of the current rule with instance atom
+/// `atom` (an atom of the previous round's delta).
+struct SeedTask {
+  std::size_t seed_pos;
+  AtomIndex atom;
+};
+
+/// Thread-local state of one collect worker, reused across rounds. The
+/// buffers are written only by the owning worker inside a pool region
+/// and read only by the merge after the barrier.
+struct CollectWorker {
+  std::vector<PendingTrigger> candidates;
+  std::uint64_t join_probes = 0;
+  std::uint32_t deadline_poll = 0;
+  bool interrupted = false;
+};
+
 }  // namespace
 
 ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
@@ -106,6 +223,7 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
   ChaseResult result;
   Instance& instance = result.instance;
   NullStore nulls(symbols);
+  const bool oblivious = options.variant == ChaseVariant::kOblivious;
   std::unordered_set<std::vector<std::uint32_t>,
                      util::VectorHash<std::uint32_t>>
       fired;
@@ -165,6 +283,24 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
   // as a span; no Atom is materialized anywhere in the loop.
   std::vector<Term> scratch;
 
+  // Parallel trigger engine: shard every rule's delta seeds across a
+  // persistent worker pool. Only the collect phase runs parallel; the
+  // instance and the `fired` set are frozen for the whole region, and
+  // the canonical merge below keeps the firing order — and hence every
+  // byte of the result — identical to the sequential engine. The
+  // full-scan baseline and forest construction stay sequential (results
+  // would be identical; only those paths' cost profiles don't benefit).
+  const std::uint32_t num_workers = ResolveNumThreads(options);
+  const bool parallel =
+      num_workers > 1 && options.use_delta && !options.build_forest;
+  std::optional<util::ThreadPool> pool;
+  std::vector<CollectWorker> workers;
+  std::vector<SeedTask> seed_tasks;
+  if (parallel) {
+    pool.emplace(num_workers);
+    workers.resize(pool->workers());
+  }
+
   // The loop reports its outcome; the observer's OnDone fires on every
   // exit path alike, after the stats are final.
   result.outcome = [&]() -> ChaseOutcome {
@@ -175,6 +311,7 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
     }
     if (stop_requested()) return ChaseOutcome::kCancelled;
     ++result.stats.rounds;
+    if (parallel) ++result.stats.parallel_rounds;
     if (options.observer != nullptr) {
       RoundProgress progress;
       progress.round = result.stats.rounds;
@@ -194,112 +331,226 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
       // the naive baseline re-enumerates everything and lets the `fired`
       // set discard the stale finds.
       pending.clear();
-      HomomorphismFinder finder(instance, options.use_position_index);
-      finder.set_probe_counter(&result.stats.join_probes);
-      finder.set_interrupt(finder_interrupt);
-      auto on_match = [&](const Substitution& h) {
-        if (interrupted || stop_requested()) {
-          interrupted = true;
-          return false;  // stop enumerating; the run is being cancelled
-        }
-        // Round discipline for the naive baseline, mirroring the delta
-        // engine exactly: a trigger is collected in the round whose
-        // delta window contains its first (in body order) non-old
-        // atom. Homomorphisms made only of pre-window atoms were
-        // collected earlier; ones whose first non-old atom was
-        // inserted *this* round (by an earlier rule) are deferred —
-        // without being recorded as fired — so both engines apply the
-        // same triggers in the same rounds and stay byte-identical.
-        if (!options.use_delta) {
-          bool in_window = false;
-          for (const Atom& body_atom : rule.body()) {
-            AtomIndex idx = 0;
-            ApplySubstitutionInto(body_atom, h, &scratch);
-            if (!instance.FindTuple(body_atom.predicate,
-                                    core::TermSpan(scratch), &idx)) {
-              return true;  // unreachable: h maps the body into I
-            }
-            if (idx >= delta_begin) {  // first non-old atom
-              in_window = idx < delta_end;
-              break;
-            }
-          }
-          if (!in_window) return true;
-        }
-        // Dedup key: (σ, h|fr(σ)) for the semi-oblivious and
-        // restricted variants (both result and head-satisfaction
-        // depend only on the frontier restriction), (σ, h) for
-        // the oblivious one.
-        PendingTrigger trig;
-        trig.tgd_index = ti;
-        trig.frontier_images.reserve(frontier.size());
-        for (Term v : frontier) {
-          trig.frontier_images.push_back(h.at(v));
-        }
-        std::vector<std::uint32_t> key;
-        key.push_back(ti);
-        if (options.variant == ChaseVariant::kOblivious) {
-          const std::vector<Term>& body_vars = rule.body_variables();
-          trig.body_images.reserve(body_vars.size());
-          for (Term v : body_vars) {
-            Term image = h.at(v);
-            key.push_back(image.bits());
-            trig.body_images.push_back(image);
-          }
-        } else {
-          for (Term image : trig.frontier_images) {
-            key.push_back(image.bits());
-          }
-        }
-        if (!fired.insert(std::move(key)).second) return true;
-        trig.guard_image = PendingTrigger::kNoGuard;
-        if (rule.IsGuarded()) {
-          ApplySubstitutionInto(rule.guard(), h, &scratch);
-          AtomIndex gi = 0;
-          if (instance.FindTuple(rule.guard().predicate,
-                                 core::TermSpan(scratch), &gi)) {
-            trig.guard_image = gi;
-          }
-        }
-        pending.push_back(std::move(trig));
-        return true;
-      };
-
-      if (options.use_delta) {
-        // Semi-naive: seed every join from a delta atom, through the
-        // per-predicate delta index and the precomputed join order;
-        // body positions before the seed are restricted to pre-delta
-        // atoms so each homomorphism is enumerated from exactly one
-        // seed.
+      if (parallel) {
+        // Shard this rule's (seed position, delta atom) pairs across
+        // the pool. Workers see the instance and the `fired` set frozen
+        // (nothing is inserted during the region) and push candidates
+        // into thread-local buffers; every order- or state-mutating
+        // step happens after the barrier.
         const JoinPlan& plan = (*plans)[ti];
-        for (std::size_t seed_pos = 0;
-             seed_pos < rule.body().size() && !interrupted; ++seed_pos) {
-          core::PredicateId seed_pred = rule.body()[seed_pos].predicate;
+        seed_tasks.clear();
+        for (std::size_t seed_pos = 0; seed_pos < rule.body().size();
+             ++seed_pos) {
           const std::vector<AtomIndex>& seeds =
-              instance.DeltaAtomsWithPredicate(seed_pred);
+              instance.DeltaAtomsWithPredicate(
+                  rule.body()[seed_pos].predicate);
           result.stats.delta_atoms_scanned += seeds.size();
-          finder.set_old_restriction(&plan.old_flags[seed_pos],
-                                     static_cast<AtomIndex>(delta_begin));
           for (AtomIndex a : seeds) {
-            if (interrupted) break;
-            finder.Enumerate(plan.reordered_bodies[seed_pos],
-                             Substitution{}, /*seed_atom=*/0, a, on_match);
+            seed_tasks.push_back(SeedTask{seed_pos, a});
           }
         }
-        finder.set_old_restriction(nullptr, 0);
+        // No delta atom matches any body predicate: the rule cannot
+        // fire this round — skip the fork/join entirely.
+        if (seed_tasks.empty()) continue;
+        std::atomic<std::size_t> next_task{0};
+        const std::size_t chunk = std::max<std::size_t>(
+            1, seed_tasks.size() /
+                   (static_cast<std::size_t>(pool->workers()) * 8));
+        const bool pollable = options.cancel != nullptr || has_deadline;
+        pool->Run([&](unsigned w) {
+          CollectWorker& self = workers[w];
+          self.candidates.clear();
+          self.join_probes = 0;
+          self.deadline_poll = 0;
+          self.interrupted = false;
+          // Per-worker interruption predicate: private poll counter,
+          // the same relaxed-atomic token read and amortized clock as
+          // the sequential engine's stop_requested.
+          const std::function<bool()> stop = [&]() {
+            if (options.cancel != nullptr &&
+                options.cancel->cancelled()) {
+              return true;
+            }
+            if (!has_deadline) return false;
+            if ((++self.deadline_poll & 63u) != 0) return false;
+            return std::chrono::steady_clock::now() >= deadline;
+          };
+          HomomorphismFinder finder(instance,
+                                    options.use_position_index);
+          finder.set_probe_counter(&self.join_probes);
+          finder.set_interrupt(pollable ? &stop : nullptr);
+          std::vector<std::uint32_t> key;
+          auto on_match = [&](const Substitution& h) {
+            if (self.interrupted || (pollable && stop())) {
+              self.interrupted = true;
+              return false;
+            }
+            PendingTrigger trig;
+            FillPendingTrigger(rule, ti, oblivious, h, &trig, &key);
+            // `fired` holds only keys recorded before this region
+            // began: a concurrent read-only lookup. Duplicates found
+            // within the region survive to the merge, which collapses
+            // them.
+            if (fired.count(key) != 0) return true;
+            // Cheap local dedup: duplicate homomorphisms produced by
+            // one seed (differing only outside the key) arrive
+            // consecutively, so comparing against the last candidate
+            // catches the bulk of them before they cost merge work.
+            // Cross-worker (and non-consecutive) duplicates are
+            // collapsed by the canonical merge below.
+            if (!self.candidates.empty() &&
+                SameTrigger(self.candidates.back(), trig)) {
+              return true;
+            }
+            // No guard image on this path: parallel implies
+            // !build_forest, and the guard image feeds only the
+            // forest.
+            self.candidates.push_back(std::move(trig));
+            return true;
+          };
+          std::size_t current_seed_pos = rule.body().size();
+          while (!self.interrupted && !finder.interrupted()) {
+            const std::size_t begin =
+                next_task.fetch_add(chunk, std::memory_order_relaxed);
+            if (begin >= seed_tasks.size()) break;
+            const std::size_t end =
+                std::min(begin + chunk, seed_tasks.size());
+            for (std::size_t i = begin; i < end; ++i) {
+              if (self.interrupted || finder.interrupted()) break;
+              const SeedTask& task = seed_tasks[i];
+              if (task.seed_pos != current_seed_pos) {
+                current_seed_pos = task.seed_pos;
+                finder.set_old_restriction(
+                    &plan.old_flags[current_seed_pos],
+                    static_cast<AtomIndex>(delta_begin));
+              }
+              finder.Enumerate(plan.reordered_bodies[current_seed_pos],
+                               Substitution{}, /*seed_atom=*/0,
+                               task.atom, on_match);
+            }
+          }
+          if (finder.interrupted()) self.interrupted = true;
+          // Sort locally, still inside the region, so the serial merge
+          // below pays O(N runs) comparisons instead of a full sort.
+          std::sort(self.candidates.begin(), self.candidates.end(),
+                    PendingBefore);
+        });
+        for (const CollectWorker& worker : workers) {
+          result.stats.join_probes += worker.join_probes;
+          if (worker.interrupted) interrupted = true;
+        }
+        if (interrupted) return ChaseOutcome::kCancelled;
+        // Canonical merge: the N sorted runs become one PendingBefore-
+        // ordered sequence with consecutive duplicates collapsed, and
+        // every kept trigger is recorded in `fired` — the same set, in
+        // the same order, as the sequential engine's collect + sort.
+        std::vector<std::size_t> heads(workers.size(), 0);
+        while (true) {
+          std::size_t best_w = workers.size();
+          for (std::size_t w = 0; w < workers.size(); ++w) {
+            if (heads[w] >= workers[w].candidates.size()) continue;
+            if (best_w == workers.size() ||
+                PendingBefore(
+                    workers[w].candidates[heads[w]],
+                    workers[best_w].candidates[heads[best_w]])) {
+              best_w = w;
+            }
+          }
+          if (best_w == workers.size()) break;
+          PendingTrigger& c =
+              workers[best_w].candidates[heads[best_w]++];
+          if (!pending.empty() && SameTrigger(pending.back(), c)) {
+            continue;
+          }
+          fired.insert(FiredKeyOf(c, oblivious));
+          pending.push_back(std::move(c));
+        }
       } else {
-        // Naive baseline: re-enumerate every homomorphism from the full
-        // instance; `fired` discards the ones found in earlier rounds.
-        finder.Enumerate(rule.body(), on_match);
-      }
-      if (interrupted || finder.interrupted()) {
-        return ChaseOutcome::kCancelled;
-      }
+        HomomorphismFinder finder(instance, options.use_position_index);
+        finder.set_probe_counter(&result.stats.join_probes);
+        finder.set_interrupt(finder_interrupt);
+        auto on_match = [&](const Substitution& h) {
+          if (interrupted || stop_requested()) {
+            interrupted = true;
+            return false;  // stop enumerating; the run is being cancelled
+          }
+          // Round discipline for the naive baseline, mirroring the delta
+          // engine exactly: a trigger is collected in the round whose
+          // delta window contains its first (in body order) non-old
+          // atom. Homomorphisms made only of pre-window atoms were
+          // collected earlier; ones whose first non-old atom was
+          // inserted *this* round (by an earlier rule) are deferred —
+          // without being recorded as fired — so both engines apply the
+          // same triggers in the same rounds and stay byte-identical.
+          if (!options.use_delta) {
+            bool in_window = false;
+            for (const Atom& body_atom : rule.body()) {
+              AtomIndex idx = 0;
+              ApplySubstitutionInto(body_atom, h, &scratch);
+              if (!instance.FindTuple(body_atom.predicate,
+                                      core::TermSpan(scratch), &idx)) {
+                return true;  // unreachable: h maps the body into I
+              }
+              if (idx >= delta_begin) {  // first non-old atom
+                in_window = idx < delta_end;
+                break;
+              }
+            }
+            if (!in_window) return true;
+          }
+          PendingTrigger trig;
+          std::vector<std::uint32_t> key;
+          FillPendingTrigger(rule, ti, oblivious, h, &trig, &key);
+          if (!fired.insert(std::move(key)).second) return true;
+          if (rule.IsGuarded()) {
+            ApplySubstitutionInto(rule.guard(), h, &scratch);
+            AtomIndex gi = 0;
+            if (instance.FindTuple(rule.guard().predicate,
+                                   core::TermSpan(scratch), &gi)) {
+              trig.guard_image = gi;
+            }
+          }
+          pending.push_back(std::move(trig));
+          return true;
+        };
 
-      // Both engines find the same trigger set per round, in different
-      // orders; apply in canonical order so the firing order (and the
-      // restricted-chase result) is engine-independent.
-      std::sort(pending.begin(), pending.end(), PendingBefore);
+        if (options.use_delta) {
+          // Semi-naive: seed every join from a delta atom, through the
+          // per-predicate delta index and the precomputed join order;
+          // body positions before the seed are restricted to pre-delta
+          // atoms so each homomorphism is enumerated from exactly one
+          // seed.
+          const JoinPlan& plan = (*plans)[ti];
+          for (std::size_t seed_pos = 0;
+               seed_pos < rule.body().size() && !interrupted; ++seed_pos) {
+            core::PredicateId seed_pred = rule.body()[seed_pos].predicate;
+            const std::vector<AtomIndex>& seeds =
+                instance.DeltaAtomsWithPredicate(seed_pred);
+            result.stats.delta_atoms_scanned += seeds.size();
+            finder.set_old_restriction(&plan.old_flags[seed_pos],
+                                       static_cast<AtomIndex>(delta_begin));
+            for (AtomIndex a : seeds) {
+              if (interrupted) break;
+              finder.Enumerate(plan.reordered_bodies[seed_pos],
+                               Substitution{}, /*seed_atom=*/0, a, on_match);
+            }
+          }
+          finder.set_old_restriction(nullptr, 0);
+        } else {
+          // Naive baseline: re-enumerate every homomorphism from the full
+          // instance; `fired` discards the ones found in earlier rounds.
+          finder.Enumerate(rule.body(), on_match);
+        }
+        if (interrupted || finder.interrupted()) {
+          return ChaseOutcome::kCancelled;
+        }
+
+        // Both engines find the same trigger set per round, in different
+        // orders; apply in canonical order so the firing order (and the
+        // restricted-chase result) is engine-independent. (The parallel
+        // branch above merged its worker runs into this order already.)
+        std::sort(pending.begin(), pending.end(), PendingBefore);
+      }
 
       // Apply phase.
       for (const PendingTrigger& trig : pending) {

@@ -60,6 +60,12 @@ using JoinPlanSet = std::vector<JoinPlan>;
 /// RunChase plans per run when none are supplied.
 JoinPlanSet PlanJoins(const tgd::TgdSet& tgds);
 
+/// The "unset" sentinel for ChaseOptions::num_threads: sequential,
+/// except that the NUCHASE_THREADS environment variable may raise it.
+/// Any explicitly chosen count (including an explicit 1 = sequential)
+/// beats the environment.
+inline constexpr std::uint32_t kNumThreadsDefault = 0xffffffffu;
+
 /// Budgets and switches for a chase run. The semi-oblivious chase of a
 /// non-terminating pair (D, Σ) is infinite, so every run is bounded by at
 /// least the atom budget; deciders additionally use the depth budget
@@ -107,7 +113,40 @@ struct ChaseOptions {
   /// been computed from the same TgdSet (one entry per TGD, same order);
   /// when null the run plans its own. Not owned; must outlive the run.
   const JoinPlanSet* plans = nullptr;
+  /// Worker count for the within-round parallel trigger engine: each
+  /// round's delta seeds are sharded across this many workers (a
+  /// util::ThreadPool, the calling thread included), every worker runs
+  /// the allocation-free probe path against the read-only instance into
+  /// a thread-local candidate buffer, and after a barrier the buffers
+  /// are sort-merged into the canonical firing order — so the
+  /// materialized instance and every ChaseStats counter are
+  /// byte-identical to the sequential engine, for all three variants.
+  ///
+  ///   kNumThreadsDefault (the default, "unset")
+  ///                the sequential engine — unless the NUCHASE_THREADS
+  ///                environment variable names a positive worker count,
+  ///                the hook CI uses to push every existing test
+  ///                through the parallel path. Every explicit setting
+  ///                below wins over the environment.
+  ///   1            the sequential engine, unconditionally.
+  ///   0            one worker per hardware thread
+  ///                (std::thread::hardware_concurrency).
+  ///   N > 1        exactly N workers.
+  ///
+  /// Only the semi-naive collect phase runs parallel; the canonical
+  /// merge, the restricted variant's head-satisfaction checks, null
+  /// creation and inserts stay single-threaded. Runs with
+  /// use_delta == false (the full-scan ablation baseline) or
+  /// build_forest == true fall back to the sequential engine — results
+  /// are identical either way, so the fallback is a cost statement, not
+  /// a semantic one.
+  std::uint32_t num_threads = kNumThreadsDefault;
 };
+
+/// The worker count a run with these options will actually use: resolves
+/// num_threads == 0 to the hardware concurrency and applies the
+/// NUCHASE_THREADS environment override to the default. Always >= 1.
+std::uint32_t ResolveNumThreads(const ChaseOptions& options);
 
 /// Why a chase run stopped.
 enum class ChaseOutcome {
@@ -139,7 +178,10 @@ struct ChaseStats {
   /// Unification attempts of a body/head atom against a candidate
   /// instance atom, over trigger search and the restricted variant's
   /// head-satisfaction checks. Counted in both engines — the number
-  /// benches compare across the delta ablation.
+  /// benches compare across the delta ablation. Under the parallel
+  /// engine each worker counts into a private counter and the per-round
+  /// totals are summed after the barrier, so the value is deterministic
+  /// and identical to the sequential engine's for any num_threads.
   std::uint64_t join_probes = 0;
   /// Bytes of term storage the result instance's columnar arena holds
   /// (used bytes, not capacity). Deterministic for a given atom set, so
@@ -149,6 +191,16 @@ struct ChaseStats {
   /// Largest number of atoms the instance held during the run (the
   /// instance only grows, so this equals its final size).
   std::uint64_t peak_atoms = 0;
+  /// Rounds whose collect phase ran on the worker pool. Engine
+  /// telemetry, not part of the byte-identity contract (it is the one
+  /// counter that legitimately differs between num_threads settings):
+  /// 0 when the run resolved to the sequential engine, equal to
+  /// `rounds` when the parallel engine was engaged. Exists so harnesses
+  /// can assert — without a clock — that a run intended to be parallel
+  /// actually took the parallel path (tools/check_bench_regression
+  /// gates this for bench_parallel_scaling, catching silent fallbacks
+  /// that byte-identity alone can never catch).
+  std::uint64_t parallel_rounds = 0;
 };
 
 /// The result of a chase run: the constructed instance (equal to

@@ -19,6 +19,12 @@ namespace chase {
 /// variable, and the restriction of h to the frontier. This store maps
 /// that key to a unique core::Term, creating it (with the correct depth,
 /// Definition 4.3) on first request.
+///
+/// Thread safety: none — GetOrCreate mutates the store and interns
+/// into the scope on every miss. The chase engine only ever calls it
+/// from the single-threaded apply phase (trigger firing is serialized
+/// even when the collect phase runs on N workers), which is also what
+/// keeps null allocation order — and hence null names — deterministic.
 class NullStore {
  public:
   explicit NullStore(core::SymbolScope* symbols) : symbols_(symbols) {}

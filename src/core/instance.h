@@ -37,6 +37,17 @@ using AtomIndex = std::uint32_t;
 /// valid across later inserts (offsets are stable and the arena is
 /// resolved through the vector object); only destroying or moving the
 /// Instance invalidates them.
+///
+/// Thread safety: between mutations, concurrent const reads are safe
+/// for the accessors the join kernel uses — FindTuple / ContainsTuple,
+/// atom(), TupleData(), AtomsWithPredicate, AtomsWithTermAt,
+/// DeltaAtomsWithPredicate, size(), PredicateArity — none of them
+/// mutate anything, not even lazily. This is the contract the parallel
+/// trigger engine relies on: during a collect region the instance is
+/// frozen and every worker probes it read-only. Two exceptions are NOT
+/// safe concurrently: ActiveDomain() (lazily catches a mutable cache
+/// up) and, of course, any non-const method; no mutation may overlap
+/// any read.
 class Instance {
  public:
   Instance() = default;

@@ -28,6 +28,15 @@ inline constexpr PredicateId kInvalidPredicate = 0xffffffffu;
 ///   - SymbolOverlay: a per-chase-run view over a frozen SymbolTable
 ///     that allocates fresh nulls locally, so any number of concurrent
 ///     runs can share one const base table without synchronization.
+///
+/// Thread safety: the const surface (depth, num_nulls, name lookups,
+/// printing) is safe to read concurrently as long as nothing mutates
+/// the scope — a frozen SymbolTable is therefore fully thread-shared.
+/// MakeNull and the interning methods mutate and must stay
+/// single-threaded per scope; the chase engine honours this by
+/// allocating nulls only in its serialized apply phase (its parallel
+/// collect workers never touch the scope), and concurrent runs get
+/// isolation from per-run SymbolOverlays rather than locks.
 class SymbolScope {
  public:
   virtual ~SymbolScope() = default;

@@ -44,6 +44,11 @@ struct AdvisorOptions {
   /// chase::ChaseOptions.
   bool use_delta = true;
   bool use_position_index = true;
+  /// Worker count for the parallel trigger engine, forwarded likewise
+  /// (see chase::ChaseOptions::num_threads: 1 = sequential, 0 = one
+  /// worker per hardware thread, default = sequential unless
+  /// NUCHASE_THREADS raises it).
+  std::uint32_t num_threads = chase::kNumThreadsDefault;
   /// Interruption and observation hooks, likewise forwarded to every
   /// chase the advisor runs. A cancelled materialization surfaces as
   /// ResourceExhausted. None are owned; all must outlive the call.

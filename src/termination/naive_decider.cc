@@ -40,6 +40,7 @@ NaiveDecision DecideByChase(core::SymbolTable* symbols,
   chase::ChaseOptions options;
   options.use_delta = engine.use_delta;
   options.use_position_index = engine.use_position_index;
+  options.num_threads = engine.num_threads;
   options.deadline_ms = engine.deadline_ms;
   options.cancel = engine.cancel;
   options.observer = engine.observer;

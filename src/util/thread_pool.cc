@@ -1,0 +1,64 @@
+#include "util/thread_pool.h"
+
+namespace nuchase {
+namespace util {
+
+ThreadPool::ThreadPool(unsigned workers)
+    : workers_(workers == 0 ? 1 : workers) {
+  helpers_.reserve(workers_ - 1);
+  for (unsigned i = 1; i < workers_; ++i) {
+    helpers_.emplace_back([this, i]() { HelperLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& helper : helpers_) helper.join();
+}
+
+void ThreadPool::Run(const std::function<void(unsigned)>& fn) {
+  if (workers_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    outstanding_ = workers_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this]() { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::HelperLoop(unsigned index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&]() {
+        return shutdown_ || generation_ != seen;
+      });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace util
+}  // namespace nuchase

@@ -1,0 +1,75 @@
+#ifndef NUCHASE_UTIL_THREAD_POOL_H_
+#define NUCHASE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nuchase {
+namespace util {
+
+/// A fixed-size fork/join worker pool for data-parallel regions — the
+/// execution substrate of the parallel trigger engine
+/// (chase::ChaseOptions::num_threads).
+///
+/// The pool owns `workers() - 1` helper threads; the thread calling
+/// Run() participates as worker 0, so a pool of size N applies N-way
+/// parallelism with N-1 spawned threads (and a pool of size 1 spawns
+/// nothing and degenerates to a plain call). Threads are spawned once,
+/// in the constructor, and parked on a condition variable between
+/// regions, so per-region dispatch costs one lock round-trip rather
+/// than a thread spawn — cheap enough to run once per chase round.
+///
+/// Concurrency contract:
+///   - Run() blocks until every worker has returned from `fn`; the
+///     return of Run() *happens-after* all work done inside the region,
+///     so results written to per-worker slots may be read unsynchronized
+///     by the caller afterwards.
+///   - Run() may be called any number of times, but only from one
+///     thread at a time (the pool is a fork/join primitive, not a task
+///     queue).
+///   - `fn` is invoked exactly once per worker with the worker index in
+///     [0, workers()); it must not call Run() reentrantly and must not
+///     throw (the engine's work functions are noexcept by construction).
+///   - The destructor joins the helper threads; it must not race a
+///     live region.
+class ThreadPool {
+ public:
+  /// Creates a pool of `workers` total workers (clamped to >= 1).
+  /// `workers - 1` helper threads are spawned immediately.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, including the caller of Run(). Always >= 1.
+  unsigned workers() const { return workers_; }
+
+  /// Runs `fn(w)` for every worker index w in [0, workers()), in
+  /// parallel, and returns once all of them have finished. The caller
+  /// executes worker 0 itself.
+  void Run(const std::function<void(unsigned)>& fn);
+
+ private:
+  void HelperLoop(unsigned index);
+
+  unsigned workers_;
+  std::vector<std::thread> helpers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // helpers wait here for a region
+  std::condition_variable done_cv_;   // Run() waits here for the join
+  const std::function<void(unsigned)>* job_ = nullptr;  // guarded by mu_
+  std::uint64_t generation_ = 0;  // bumped once per region
+  unsigned outstanding_ = 0;      // helpers still inside the region
+  bool shutdown_ = false;
+};
+
+}  // namespace util
+}  // namespace nuchase
+
+#endif  // NUCHASE_UTIL_THREAD_POOL_H_

@@ -60,6 +60,47 @@ Workload MakeExample71(core::SymbolTable* symbols) {
                      "Re(x, x) -> Re(z, x).\n");
 }
 
+Workload MakeWideDepthFamily(core::SymbolTable* symbols,
+                             std::uint32_t layers, std::uint32_t width,
+                             std::uint32_t payloads,
+                             std::uint32_t noise) {
+  assert(layers >= 1 && width >= 1 && payloads >= 1 && noise >= 1);
+  Workload out =
+      FromProgram(symbols, "depth-family-wide",
+                  "Rd(x, y), Pd(x, z, v), Sd(x, u) -> Pd(y, w, z).\n");
+  out.name = "depth-family-wide(layers=" + std::to_string(layers) +
+             ",width=" + std::to_string(width) +
+             ",payloads=" + std::to_string(payloads) +
+             ",noise=" + std::to_string(noise) + ")";
+  auto node = [](std::uint32_t chain, std::uint32_t layer) {
+    return "c" + std::to_string(chain) + "_" + std::to_string(layer);
+  };
+  util::Status st;
+  for (std::uint32_t a = 0; a < width; ++a) {
+    for (std::uint32_t j = 0; j < payloads; ++j) {
+      std::string payload = "s" + std::to_string(j);
+      st = out.database.AddFact(symbols, "Pd",
+                                {node(a, 1), payload, payload});
+      assert(st.ok());
+    }
+    for (std::uint32_t layer = 1; layer <= layers; ++layer) {
+      if (layer < layers) {
+        st = out.database.AddFact(symbols, "Rd",
+                                  {node(a, layer), node(a, layer + 1)});
+        assert(st.ok());
+      }
+      for (std::uint32_t m = 0; m < noise; ++m) {
+        st = out.database.AddFact(symbols, "Sd",
+                                  {node(a, layer),
+                                   "u" + std::to_string(m)});
+        assert(st.ok());
+      }
+    }
+  }
+  (void)st;
+  return out;
+}
+
 Workload MakeDepthFamilyInfinite(core::SymbolTable* symbols) {
   Workload out = FromProgram(symbols, "depth-family-infinite",
                              "Rd(x, y), Pd(x, z, v) -> Pd(y, w, z).\n");

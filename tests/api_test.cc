@@ -28,6 +28,21 @@ constexpr const char* kQuickstart =
 // R(x,y) -> ∃z R(y,z) over {R(a,b)}: the Section 3 diverging pair.
 constexpr const char* kDiverging = "R(a, b). R(x, y) -> R(y, z).";
 
+// A mid-size program whose chase invents one null per department chain,
+// big enough that concurrent (and sharded) runs genuinely overlap.
+std::string ConcurrencyProgramText() {
+  std::string text =
+      "Emp(x, d) -> Dept(d).\n"
+      "Dept(d) -> Mgr(d, m).\n"
+      "Mgr(d, m) -> Emp(m, d).\n"
+      "Emp(x, d), Mgr(d, m) -> Reports(x, m).\n";
+  for (int i = 0; i < 400; ++i) {
+    text += "Emp(e" + std::to_string(i) + ", d" +
+            std::to_string(i % 40) + ").\n";
+  }
+  return text;
+}
+
 // ---------------------------------------------------------------------
 // Program::Parse and the facade's Status surface.
 
@@ -403,6 +418,135 @@ TEST(CancelTest, DeadlineInterruptsMatchFreeJoinEnumeration) {
   EXPECT_LT(seconds, 10.0);
 }
 
+// ---------------------------------------------------------------------
+// The parallel trigger engine behind SessionOptions::num_threads.
+
+TEST(ParallelTest, EightWorkerChaseIsByteIdenticalToSequential) {
+  // The TSan acceptance scenario: one chase sharded across 8 workers
+  // must be race-free and byte-identical to the sequential engine —
+  // instance, stats, everything.
+  auto program = api::Program::Parse(ConcurrencyProgramText());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  auto sequential = api::Session(*program).Chase();
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(sequential->Terminated());
+
+  api::Session parallel_session(
+      *program, api::SessionOptions().set_num_threads(8));
+  auto parallel = parallel_session.Chase();
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(parallel->Terminated());
+
+  EXPECT_EQ(parallel->ToSortedString(), sequential->ToSortedString());
+  EXPECT_EQ(parallel->stats().triggers_fired,
+            sequential->stats().triggers_fired);
+  EXPECT_EQ(parallel->stats().triggers_satisfied,
+            sequential->stats().triggers_satisfied);
+  EXPECT_EQ(parallel->stats().join_probes,
+            sequential->stats().join_probes);
+  EXPECT_EQ(parallel->stats().delta_atoms_scanned,
+            sequential->stats().delta_atoms_scanned);
+  EXPECT_EQ(parallel->stats().rounds, sequential->stats().rounds);
+  EXPECT_EQ(parallel->stats().arena_bytes,
+            sequential->stats().arena_bytes);
+}
+
+TEST(ParallelTest, HardwareThreadsZeroResolvesAndMatches) {
+  // num_threads = 0 means "one worker per hardware thread"; whatever
+  // that resolves to, the result is the same bytes.
+  auto program = api::Program::Parse(kQuickstart);
+  ASSERT_TRUE(program.ok());
+  auto sequential = api::Session(*program).Chase();
+  ASSERT_TRUE(sequential.ok());
+  api::Session session(*program,
+                       api::SessionOptions().set_num_threads(0));
+  auto run = session.Chase();
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->Terminated());
+  EXPECT_EQ(run->ToSortedString(), sequential->ToSortedString());
+}
+
+// A diverging program with wide rounds: both recursive rules double the
+// frontier every round, so within a few rounds every one of the 8
+// workers holds live shards when the cancel lands.
+constexpr const char* kWideDiverging =
+    "R(a, b).\n"
+    "R(x, y) -> R(y, z).\n"
+    "R(x, y) -> R(x, w).\n";
+
+TEST(ParallelTest, CrossThreadCancelStopsAllWorkersPromptly) {
+  // Cancellation under parallelism: the token is observed by every
+  // worker (each polls it independently), the pool joins, and the run
+  // returns kCancelled with a consistent prefix in bounded time.
+  auto program = api::Program::Parse(kWideDiverging);
+  ASSERT_TRUE(program.ok());
+  api::CancelToken token;
+  api::Session session(*program, api::SessionOptions()
+                                     .set_num_threads(8)
+                                     .set_cancel(&token));
+
+  util::StatusOr<api::ChaseRun> run = util::Status::Internal("unset");
+  auto start = std::chrono::steady_clock::now();
+  std::thread chaser([&]() { run = session.Chase(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  token.Cancel();
+  chaser.join();
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->outcome(), api::ChaseOutcome::kCancelled);
+  // Observed promptly by all workers: generous slack for TSan/CI, but
+  // far below what ignoring the token until the atom budget would take.
+  EXPECT_LT(seconds, 10.0);
+}
+
+TEST(ParallelTest, DeadlineStopsParallelDivergingChase) {
+  auto program = api::Program::Parse(kWideDiverging);
+  ASSERT_TRUE(program.ok());
+  api::Session session(*program, api::SessionOptions()
+                                     .set_num_threads(4)
+                                     .set_deadline_ms(100));
+  auto start = std::chrono::steady_clock::now();
+  auto run = session.Chase();
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->outcome(), api::ChaseOutcome::kCancelled);
+  EXPECT_LT(seconds, 10.0);
+}
+
+TEST(ParallelTest, ConcurrentParallelSessionsShareOneProgram) {
+  // Sessions-of-pools: 4 sessions, each itself chasing with 4 workers,
+  // all over one shared frozen Program — the heavy-multi-user shape.
+  auto parsed = api::Program::Parse(ConcurrencyProgramText());
+  ASSERT_TRUE(parsed.ok());
+  const api::Program program = *parsed;
+
+  auto reference = api::Session(program).Chase();
+  ASSERT_TRUE(reference.ok());
+  const std::string expected = reference->ToSortedString();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      api::Session session(program,
+                           api::SessionOptions().set_num_threads(4));
+      auto run = session.Chase();
+      if (!run.ok() || !run->Terminated() ||
+          run->ToSortedString() != expected) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(CancelTest, DeadlineLeavesTerminatingRunsAlone) {
   auto program = api::Program::Parse(kQuickstart);
   ASSERT_TRUE(program.ok());
@@ -415,21 +559,6 @@ TEST(CancelTest, DeadlineLeavesTerminatingRunsAlone) {
 
 // ---------------------------------------------------------------------
 // Concurrency: N sessions over one shared `const Program`.
-
-// A mid-size program whose chase invents one null per department chain,
-// big enough that 8 concurrent runs genuinely overlap.
-std::string ConcurrencyProgramText() {
-  std::string text =
-      "Emp(x, d) -> Dept(d).\n"
-      "Dept(d) -> Mgr(d, m).\n"
-      "Mgr(d, m) -> Emp(m, d).\n"
-      "Emp(x, d), Mgr(d, m) -> Reports(x, m).\n";
-  for (int i = 0; i < 400; ++i) {
-    text += "Emp(e" + std::to_string(i) + ", d" +
-            std::to_string(i % 40) + ").\n";
-  }
-  return text;
-}
 
 TEST(ConcurrencyTest, EightSessionsOneProgramByteIdentical) {
   auto parsed = api::Program::Parse(ConcurrencyProgramText());

@@ -114,6 +114,15 @@ run_golden(witness_race.tgd witness_race_decide.txt 1 decide)
 run_golden(witness_race.tgd witness_race_chase.txt 0
     chase --variant=restricted --print)
 
+# Parallel-engine purity: --threads=N must reproduce the sequential
+# goldens byte-for-byte, stats lines included — every counter the CLI
+# prints is deterministic across thread counts.
+foreach(prog quickstart data_exchange datalog_tc)
+  run_golden(${prog}.tgd ${prog}_chase.txt 0 chase --print --threads=4)
+endforeach()
+run_golden(witness_race.tgd witness_race_chase.txt 0
+    chase --variant=restricted --print --threads=3)
+
 # Ablation purity: the full-scan engine must materialize the identical
 # instance; only the engine/joins stat lines may differ.
 function(strip_engine_lines text out_var)

@@ -12,6 +12,7 @@
 #include "chase/chase.h"
 #include "tgd/classify.h"
 #include "tgd/parser.h"
+#include "workload/depth_family.h"
 #include "workload/random_tgds.h"
 
 namespace nuchase {
@@ -53,7 +54,8 @@ struct CellResult {
 class DeltaDiffRandomTest : public ::testing::TestWithParam<DiffParams> {
  protected:
   CellResult RunCell(chase::ChaseVariant variant, bool use_delta,
-                     bool use_position_index) {
+                     bool use_position_index,
+                     std::uint32_t num_threads = 1) {
     core::SymbolTable symbols;
     workload::RandomTgdOptions options;
     options.seed = GetParam().seed;
@@ -68,6 +70,7 @@ class DeltaDiffRandomTest : public ::testing::TestWithParam<DiffParams> {
     copt.max_atoms = 4000;
     copt.use_delta = use_delta;
     copt.use_position_index = use_position_index;
+    copt.num_threads = num_threads;
     CellResult cell;
     cell.result = chase::RunChase(&symbols, w.tgds, w.database, copt);
     cell.sorted = cell.result.instance.ToSortedString(symbols);
@@ -103,6 +106,47 @@ TEST_P(DeltaDiffRandomTest, AllAblationCellsAgree) {
                   reference.result.stats.peak_atoms)
             << label;
       }
+    }
+  }
+}
+
+/// The parallel trigger engine must be invisible in the output: for
+/// every variant, N workers sharding each round's delta produce the
+/// byte-identical instance and the identical deterministic counters
+/// (triggers, join probes, storage bytes) as the sequential engine.
+/// Thread counts cover an even shard, an odd one (uneven chunking), and
+/// more workers than most rounds have seeds.
+TEST_P(DeltaDiffRandomTest, ParallelThreadsAreByteIdentical) {
+  for (chase::ChaseVariant variant : kVariants) {
+    CellResult reference = RunCell(variant, /*use_delta=*/true,
+                                   /*use_position_index=*/true);
+    for (std::uint32_t num_threads : {2u, 3u, 8u}) {
+      CellResult cell = RunCell(variant, /*use_delta=*/true,
+                                /*use_position_index=*/true, num_threads);
+      std::string label = std::string(chase::ChaseVariantName(variant)) +
+                          " threads=" + std::to_string(num_threads);
+      EXPECT_EQ(cell.result.outcome, reference.result.outcome) << label;
+      EXPECT_EQ(cell.sorted, reference.sorted) << label;
+      EXPECT_EQ(cell.result.stats.triggers_fired,
+                reference.result.stats.triggers_fired)
+          << label;
+      EXPECT_EQ(cell.result.stats.triggers_satisfied,
+                reference.result.stats.triggers_satisfied)
+          << label;
+      EXPECT_EQ(cell.result.stats.join_probes,
+                reference.result.stats.join_probes)
+          << label;
+      EXPECT_EQ(cell.result.stats.delta_atoms_scanned,
+                reference.result.stats.delta_atoms_scanned)
+          << label;
+      EXPECT_EQ(cell.result.stats.rounds, reference.result.stats.rounds)
+          << label;
+      EXPECT_EQ(cell.result.stats.arena_bytes,
+                reference.result.stats.arena_bytes)
+          << label;
+      EXPECT_EQ(cell.result.stats.peak_atoms,
+                reference.result.stats.peak_atoms)
+          << label;
     }
   }
 }
@@ -164,6 +208,42 @@ TEST(DeltaDiffDirectedTest, RestrictedOrderSensitiveProgramsAgree) {
                 r_off.stats.triggers_satisfied)
           << text;
     }
+  }
+}
+
+/// Cross-worker duplicate collapse: on the wide depth family every
+/// trigger is discoverable through `noise` homomorphisms whose seeds
+/// may land in different workers' shards; the canonical merge must
+/// collapse them exactly as the sequential `fired` set does, for all
+/// three variants (the oblivious one diverges on this family, so the
+/// atom budget cuts it — the canonical firing sequence makes the
+/// comparison exact at any cutoff).
+TEST(DeltaDiffDirectedTest, WideDepthFamilyParallelAgrees) {
+  for (chase::ChaseVariant variant : kVariants) {
+    CellResult cells[2];
+    const std::uint32_t threads[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+      core::SymbolTable symbols;
+      workload::Workload w = workload::MakeWideDepthFamily(
+          &symbols, /*layers=*/6, /*width=*/4, /*payloads=*/3,
+          /*noise=*/5);
+      chase::ChaseOptions copt;
+      copt.variant = variant;
+      copt.max_atoms = 3000;
+      copt.num_threads = threads[i];
+      cells[i].result = chase::RunChase(&symbols, w.tgds, w.database,
+                                        copt);
+      cells[i].sorted = cells[i].result.instance.ToSortedString(symbols);
+    }
+    std::string label = chase::ChaseVariantName(variant);
+    EXPECT_EQ(cells[0].result.outcome, cells[1].result.outcome) << label;
+    EXPECT_EQ(cells[0].sorted, cells[1].sorted) << label;
+    EXPECT_EQ(cells[0].result.stats.triggers_fired,
+              cells[1].result.stats.triggers_fired)
+        << label;
+    EXPECT_EQ(cells[0].result.stats.join_probes,
+              cells[1].result.stats.join_probes)
+        << label;
   }
 }
 

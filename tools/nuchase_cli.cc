@@ -52,6 +52,11 @@ int Usage(const char* argv0) {
                "(default off)\n"
                "  --deadline-ms=N   stop (outcome cancelled) after N ms "
                "of wall clock\n"
+               "  --threads=N       chase worker threads (1 = "
+               "sequential,\n"
+               "                    0 = one per hardware thread); "
+               "results are\n"
+               "                    byte-identical for every N\n"
                "  --print           also print the materialized atoms\n"
                "  --no-delta        full-scan trigger search (ablation)\n"
                "  --no-position-index  join without the per-position "
@@ -116,6 +121,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       out->session.deadline_ms =
           std::strtoull(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      // Strict parse: 0 is the meaningful "all hardware threads"
+      // setting here, so garbage must error rather than fall through
+      // to the most aggressive value.
+      const char* value = arg.c_str() + 10;
+      char* end = nullptr;
+      unsigned long n = std::strtoul(value, &end, 10);
+      if (*value == '\0' || end == nullptr || *end != '\0' || n > 256) {
+        std::fprintf(stderr,
+                     "--threads expects an integer in [0, 256], got "
+                     "'%s'\n", value);
+        return false;
+      }
+      out->session.num_threads = static_cast<std::uint32_t>(n);
     } else if (arg.rfind("--mode=", 0) == 0) {
       out->mode = arg.substr(7);
     } else if (arg.rfind("--", 0) == 0) {
