@@ -215,6 +215,62 @@ struct CollectWorker {
   bool interrupted = false;
 };
 
+/// Thread-local state of one apply-phase worker (the restricted
+/// variant's read-only head-satisfaction pre-checks). Same discipline as
+/// CollectWorker: written only inside the region, reduced after it.
+struct ApplyWorker {
+  std::uint64_t join_probes = 0;
+  std::uint32_t deadline_poll = 0;
+  bool interrupted = false;
+};
+
+/// Where one term of a head tuple comes from: a frontier image (read
+/// from PendingTrigger::frontier_images) or a bound existential null
+/// (read from the trigger's run of the pass-1 null buffer). TGD atoms
+/// are constant-free (tgd.h), so these two sources are exhaustive.
+struct HeadSlot {
+  bool existential;
+  std::uint32_t index;
+};
+
+/// The precompiled candidate-build recipe for one rule's head: filling a
+/// trigger's head tuples is a straight copy loop driven by `slots` (all
+/// head atoms concatenated), with `tuples[j]` giving each atom's
+/// predicate, arity and term offset *within the trigger's slice*. The
+/// parallel pass-2 workers share one immutable plan, so building
+/// candidate t touches only t's slice of the shared buffers — no
+/// synchronization, and bytes independent of which worker fills what.
+struct HeadPlan {
+  std::vector<HeadSlot> slots;
+  std::vector<core::BatchTuple> tuples;
+  std::size_t terms_per_trigger = 0;
+};
+
+HeadPlan PlanHead(const tgd::Tgd& rule) {
+  HeadPlan plan;
+  auto index_of = [](const std::vector<Term>& vars, Term v) {
+    return static_cast<std::uint32_t>(
+        std::find(vars.begin(), vars.end(), v) - vars.begin());
+  };
+  for (const Atom& head_atom : rule.head()) {
+    core::BatchTuple tuple;
+    tuple.pred = head_atom.predicate;
+    tuple.begin = plan.terms_per_trigger;
+    tuple.arity = head_atom.arity();
+    plan.tuples.push_back(tuple);
+    for (Term v : head_atom.args) {
+      HeadSlot slot;
+      slot.existential =
+          index_of(rule.frontier(), v) >= rule.frontier().size();
+      slot.index = slot.existential ? index_of(rule.existential(), v)
+                                    : index_of(rule.frontier(), v);
+      plan.slots.push_back(slot);
+    }
+    plan.terms_per_trigger += head_atom.arity();
+  }
+  return plan;
+}
+
 }  // namespace
 
 ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
@@ -283,23 +339,46 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
   // as a span; no Atom is materialized anywhere in the loop.
   std::vector<Term> scratch;
 
-  // Parallel trigger engine: shard every rule's delta seeds across a
-  // persistent worker pool. Only the collect phase runs parallel; the
-  // instance and the `fired` set are frozen for the whole region, and
-  // the canonical merge below keeps the firing order — and hence every
-  // byte of the result — identical to the sequential engine. The
-  // full-scan baseline and forest construction stay sequential (results
-  // would be identical; only those paths' cost profiles don't benefit).
+  // Parallel trigger engine. Two phases fan out over one persistent
+  // worker pool. Collect: every rule's delta seeds are sharded across
+  // workers (requires the delta engine and no forest; the instance and
+  // the `fired` set are frozen for the whole region) and a canonical
+  // merge restores the sequential firing order. Apply: runs the same
+  // staged algorithm at EVERY thread count — candidate head tuples are
+  // built into per-trigger slices of a shared buffer and dedup-probed
+  // by the sharded batch insert (semi-oblivious/oblivious), or the
+  // head-satisfaction pre-checks run read-only against the frozen
+  // round-start instance (restricted) — while null creation and the
+  // arena commits stay serial in canonical trigger order. Every byte of
+  // the result and every deterministic ChaseStats counter is identical
+  // to the num_threads == 1 run by construction.
   const std::uint32_t num_workers = ResolveNumThreads(options);
   const bool parallel =
       num_workers > 1 && options.use_delta && !options.build_forest;
   std::optional<util::ThreadPool> pool;
   std::vector<CollectWorker> workers;
   std::vector<SeedTask> seed_tasks;
-  if (parallel) {
+  if (num_workers > 1) {
     pool.emplace(num_workers);
-    workers.resize(pool->workers());
+    if (parallel) workers.resize(pool->workers());
   }
+  util::ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
+  std::vector<ApplyWorker> apply_workers(
+      pool.has_value() ? pool->workers() : 1);
+
+  // Head-plan and scratch state of the staged apply phase (see the
+  // apply block below for the stage walkthrough).
+  std::vector<HeadPlan> head_plans;
+  if (options.variant != ChaseVariant::kRestricted) {
+    head_plans.reserve(tgds.size());
+    for (std::uint32_t ti = 0; ti < tgds.size(); ++ti) {
+      head_plans.push_back(PlanHead(tgds.tgd(ti)));
+    }
+  }
+  std::vector<Term> bound_nulls;         // pass-1 nulls, E per trigger
+  std::vector<Term> apply_terms;         // pass-2 candidate tuple terms
+  std::vector<core::BatchTuple> apply_tuples;
+  std::vector<std::uint8_t> head_satisfied;  // restricted pre-checks
 
   // The loop reports its outcome; the observer's OnDone fires on every
   // exit path alike, after the stats are final.
@@ -552,97 +631,280 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
         std::sort(pending.begin(), pending.end(), PendingBefore);
       }
 
-      // Apply phase.
-      for (const PendingTrigger& trig : pending) {
-        if (stop_requested()) return ChaseOutcome::kCancelled;
-        // Bind frontier variables.
-        Substitution h;
-        for (std::size_t i = 0; i < frontier.size(); ++i) {
-          h.emplace(frontier[i], trig.frontier_images[i]);
+      // Apply phase — one staged algorithm at every thread count. The
+      // parallel stages degenerate to inline loops when no pool exists,
+      // so num_threads changes who executes a stage, never what it
+      // computes: instance bytes and every deterministic counter are
+      // identical across thread counts by construction.
+      if (pending.empty()) continue;
+      if (pool_ptr != nullptr) ++result.stats.parallel_apply_batches;
+      const bool apply_pollable = options.cancel != nullptr || has_deadline;
+
+      if (options.variant == ChaseVariant::kRestricted) {
+        // Restricted chase: a trigger is applied only if no extension
+        // h' ⊇ h|fr(σ) already maps head(σ) into the instance.
+        //
+        // Stage 1 (parallel, read-only): decide head satisfaction for
+        // every pending trigger against the frozen batch-start
+        // instance. Satisfaction is monotone — the atom set only grows
+        // — so a "satisfied at the freeze" verdict is final; only
+        // not-yet-satisfied verdicts can be flipped by atoms this very
+        // batch inserts, and stage 2 re-checks exactly those, exactly
+        // when an insert has happened. Skip/fire decisions therefore
+        // match a fully serial walk; join_probes is defined by this
+        // staged schedule, deterministically (per-trigger probe counts
+        // against a fixed instance, summed — worker assignment can't
+        // change the total).
+        const std::uint64_t frozen_size = instance.size();
+        head_satisfied.assign(pending.size(), 0);
+        util::ParallelChunks(
+            pool_ptr, pending.size(), 1,
+            [&](unsigned w, std::size_t begin, std::size_t end) {
+              ApplyWorker& self = apply_workers[w];
+              // Per-worker interruption predicate: private poll
+              // counter, same token read and amortized clock as
+              // stop_requested.
+              const std::function<bool()> stop = [&]() {
+                if (options.cancel != nullptr &&
+                    options.cancel->cancelled()) {
+                  return true;
+                }
+                if (!has_deadline) return false;
+                if ((++self.deadline_poll & 63u) != 0) return false;
+                return std::chrono::steady_clock::now() >= deadline;
+              };
+              HomomorphismFinder finder(instance,
+                                        options.use_position_index);
+              finder.set_probe_counter(&self.join_probes);
+              finder.set_interrupt(apply_pollable ? &stop : nullptr);
+              for (std::size_t t = begin; t < end; ++t) {
+                if (self.interrupted || finder.interrupted()) {
+                  self.interrupted = true;
+                  break;
+                }
+                Substitution h;
+                for (std::size_t i = 0; i < frontier.size(); ++i) {
+                  h.emplace(frontier[i], pending[t].frontier_images[i]);
+                }
+                bool satisfied = false;
+                finder.Enumerate(rule.head(), h, /*seed_atom=*/-1,
+                                 /*seed_target=*/0,
+                                 [&](const Substitution&) {
+                                   satisfied = true;
+                                   return false;  // stop at the first
+                                 });
+                head_satisfied[t] = satisfied ? 1 : 0;
+              }
+              if (finder.interrupted()) self.interrupted = true;
+            });
+        bool apply_interrupted = false;
+        for (ApplyWorker& worker : apply_workers) {
+          result.stats.join_probes += worker.join_probes;
+          worker.join_probes = 0;
+          if (worker.interrupted) apply_interrupted = true;
+          worker.interrupted = false;
         }
-        // Restricted chase: the trigger is applied only if no extension
-        // h' ⊇ h|fr(σ) already maps head(σ) into the instance. The check
-        // runs against the *current* instance, so atoms added earlier in
-        // this very round already count; once satisfied, monotonicity
-        // keeps the trigger satisfied forever, so the `fired` entry can
-        // stand.
-        if (options.variant == ChaseVariant::kRestricted) {
-          HomomorphismFinder head_finder(instance,
-                                         options.use_position_index);
-          head_finder.set_probe_counter(&result.stats.join_probes);
-          head_finder.set_interrupt(finder_interrupt);
-          bool satisfied = false;
-          head_finder.Enumerate(rule.head(), h, /*seed_atom=*/-1,
-                                /*seed_target=*/0,
-                                [&](const Substitution&) {
-                                  satisfied = true;
-                                  return false;  // stop at the first
-                                });
-          // An aborted satisfaction check certifies nothing: stop
-          // before applying (or skipping) this trigger.
-          if (head_finder.interrupted()) {
-            return ChaseOutcome::kCancelled;
+        // An aborted satisfaction check certifies nothing: stop before
+        // applying (or skipping) any of this batch's triggers.
+        if (apply_interrupted) return ChaseOutcome::kCancelled;
+
+        // Stage 2 (serial, canonical order): skip or fire.
+        for (std::size_t t = 0; t < pending.size(); ++t) {
+          const PendingTrigger& trig = pending[t];
+          if (stop_requested()) return ChaseOutcome::kCancelled;
+          Substitution h;
+          for (std::size_t i = 0; i < frontier.size(); ++i) {
+            h.emplace(frontier[i], trig.frontier_images[i]);
+          }
+          bool satisfied = head_satisfied[t] != 0;
+          if (!satisfied && instance.size() > frozen_size) {
+            // Atoms inserted by earlier triggers of this batch may
+            // have satisfied the head since the freeze; once
+            // satisfied, monotonicity keeps the trigger satisfied
+            // forever, so the `fired` entry can stand.
+            HomomorphismFinder head_finder(instance,
+                                           options.use_position_index);
+            head_finder.set_probe_counter(&result.stats.join_probes);
+            head_finder.set_interrupt(finder_interrupt);
+            head_finder.Enumerate(rule.head(), h, /*seed_atom=*/-1,
+                                  /*seed_target=*/0,
+                                  [&](const Substitution&) {
+                                    satisfied = true;
+                                    return false;  // stop at the first
+                                  });
+            if (head_finder.interrupted()) {
+              return ChaseOutcome::kCancelled;
+            }
           }
           if (satisfied) {
             ++result.stats.triggers_satisfied;
             continue;
           }
-        }
-        ++result.stats.triggers_fired;
-        // Invent nulls for the existential variables.
-        for (Term z : rule.existential()) {
-          util::StatusOr<Term> null_or =
-              options.variant == ChaseVariant::kOblivious
-                  ? nulls.GetOrCreate(ti, z, trig.body_images,
-                                      trig.frontier_images)
-                  : nulls.GetOrCreate(ti, z, trig.frontier_images);
-          if (!null_or.ok()) {
-            // Null ids wrapped past Term's index space: stop with a
-            // consistent prefix instead of silently aliasing nulls. The
-            // trigger was counted as fired; keep OnFire parity.
+          ++result.stats.triggers_fired;
+          bound_nulls.clear();
+          NullStore::BindResult bind = nulls.BindTriggerNulls(
+              ti, rule.existential(), trig.frontier_images,
+              trig.frontier_images, options.max_depth, &bound_nulls,
+              &result.stats.max_depth);
+          if (bind != NullStore::BindResult::kOk) {
+            // Depth budget breached, or null ids wrapped past Term's
+            // index space: stop with a consistent prefix. The trigger
+            // was counted as fired; keep OnFire parity.
             if (options.observer != nullptr) {
               options.observer->OnFire(trig.tgd_index, instance.size());
             }
-            return ChaseOutcome::kResourceExhausted;
+            return bind == NullStore::BindResult::kDepthLimit
+                       ? ChaseOutcome::kDepthLimit
+                       : ChaseOutcome::kResourceExhausted;
           }
-          Term null = *null_or;
-          std::uint32_t d = symbols->depth(null);
-          result.stats.max_depth = std::max(result.stats.max_depth, d);
-          if (options.max_depth != 0 && d > options.max_depth) {
-            // The trigger was counted as fired: keep the observer's
-            // OnFire tally equal to stats.triggers_fired on every path.
-            if (options.observer != nullptr) {
-              options.observer->OnFire(trig.tgd_index, instance.size());
-            }
-            return ChaseOutcome::kDepthLimit;
+          for (std::size_t i = 0; i < rule.existential().size(); ++i) {
+            h.emplace(rule.existential()[i], bound_nulls[i]);
           }
-          h.emplace(z, null);
-        }
-        for (const Atom& head_atom : rule.head()) {
-          ApplySubstitutionInto(head_atom, h, &scratch);
-          auto [idx, fresh] = instance.InsertTuple(
-              head_atom.predicate, core::TermSpan(scratch));
-          if (fresh && options.build_forest) {
-            std::uint32_t atom_depth = 0;
-            for (Term t : instance.atom(idx).terms()) {
-              atom_depth = std::max(atom_depth, symbols->depth(t));
+          for (const Atom& head_atom : rule.head()) {
+            ApplySubstitutionInto(head_atom, h, &scratch);
+            auto [idx, fresh] = instance.InsertTuple(
+                head_atom.predicate, core::TermSpan(scratch));
+            if (fresh && options.build_forest) {
+              std::uint32_t atom_depth = 0;
+              for (Term term : instance.atom(idx).terms()) {
+                atom_depth = std::max(atom_depth, symbols->depth(term));
+              }
+              if (trig.guard_image == PendingTrigger::kNoGuard) {
+                result.forest.AddFloating(idx, atom_depth);
+              } else {
+                result.forest.AddChild(idx, trig.guard_image,
+                                       atom_depth);
+              }
             }
-            if (trig.guard_image == PendingTrigger::kNoGuard) {
-              result.forest.AddFloating(idx, atom_depth);
-            } else {
-              result.forest.AddChild(idx, trig.guard_image, atom_depth);
+            if (instance.size() > options.max_atoms) {
+              // As above: the budget-tripping trigger did fire.
+              if (options.observer != nullptr) {
+                options.observer->OnFire(trig.tgd_index,
+                                         instance.size());
+              }
+              return ChaseOutcome::kAtomLimit;
             }
           }
-          if (instance.size() > options.max_atoms) {
-            // As above: the budget-tripping trigger did fire.
-            if (options.observer != nullptr) {
-              options.observer->OnFire(trig.tgd_index, instance.size());
-            }
-            return ChaseOutcome::kAtomLimit;
+          if (options.observer != nullptr) {
+            options.observer->OnFire(trig.tgd_index, instance.size());
           }
         }
-        if (options.observer != nullptr) {
-          options.observer->OnFire(trig.tgd_index, instance.size());
+      } else {
+        // Semi-oblivious / oblivious: every pending trigger fires.
+        //
+        // Pass 1 (serial, canonical order): bind every trigger's
+        // existential nulls. Null names are functional in the firing
+        // key, so binding in canonical trigger order keeps the name
+        // assignment identical to a serial walk; a depth or id-space
+        // failure truncates the batch — earlier triggers still apply,
+        // and the failure is reported after they merge (first error in
+        // canonical order wins, exactly as a serial walk would).
+        const std::size_t num_existential = rule.existential().size();
+        std::size_t batch_n = pending.size();
+        ChaseOutcome stop_outcome = ChaseOutcome::kTerminated;
+        bound_nulls.clear();
+        for (std::size_t t = 0; t < pending.size(); ++t) {
+          const PendingTrigger& trig = pending[t];
+          NullStore::BindResult bind = nulls.BindTriggerNulls(
+              ti, rule.existential(),
+              oblivious ? trig.body_images : trig.frontier_images,
+              trig.frontier_images, options.max_depth, &bound_nulls,
+              &result.stats.max_depth);
+          if (bind != NullStore::BindResult::kOk) {
+            batch_n = t;
+            stop_outcome = bind == NullStore::BindResult::kDepthLimit
+                               ? ChaseOutcome::kDepthLimit
+                               : ChaseOutcome::kResourceExhausted;
+            break;
+          }
+        }
+
+        // Pass 2 (parallel): build every candidate head tuple into the
+        // trigger's slice of the shared buffer. Pure reads of the head
+        // plan, the frontier images and the pass-1 nulls; pure writes
+        // of disjoint slices — worker assignment cannot affect a byte.
+        const HeadPlan& hplan = head_plans[ti];
+        const std::size_t num_heads = rule.head().size();
+        apply_terms.resize(batch_n * hplan.terms_per_trigger);
+        apply_tuples.resize(batch_n * num_heads);
+        util::ParallelChunks(
+            pool_ptr, batch_n, 16,
+            [&](unsigned, std::size_t begin, std::size_t end) {
+              for (std::size_t t = begin; t < end; ++t) {
+                const PendingTrigger& trig = pending[t];
+                const std::size_t base = t * hplan.terms_per_trigger;
+                for (std::size_t s = 0; s < hplan.slots.size(); ++s) {
+                  const HeadSlot& slot = hplan.slots[s];
+                  apply_terms[base + s] =
+                      slot.existential
+                          ? bound_nulls[t * num_existential + slot.index]
+                          : trig.frontier_images[slot.index];
+                }
+                for (std::size_t j = 0; j < num_heads; ++j) {
+                  core::BatchTuple tuple = hplan.tuples[j];
+                  tuple.begin += base;
+                  apply_tuples[t * num_heads + j] = tuple;
+                }
+              }
+            });
+
+        // Pass 3: sharded parallel dedup probes + serial canonical
+        // merge. The merge callback runs on this thread in batch order
+        // and is the only place triggers are counted, observers fire
+        // and budgets trip — bookkeeping identical to the serial walk.
+        ChaseOutcome merge_stop = ChaseOutcome::kTerminated;
+        instance.InsertTupleBatch(
+            apply_terms.data(), apply_tuples, pool_ptr,
+            [&](std::size_t pos, AtomIndex idx, bool fresh) {
+              const std::size_t t = pos / num_heads;
+              const std::size_t j = pos % num_heads;
+              const PendingTrigger& trig = pending[t];
+              if (j == 0) {
+                if (stop_requested()) {
+                  merge_stop = ChaseOutcome::kCancelled;
+                  return false;
+                }
+                ++result.stats.triggers_fired;
+              }
+              if (fresh && options.build_forest) {
+                std::uint32_t atom_depth = 0;
+                for (Term term : instance.atom(idx).terms()) {
+                  atom_depth = std::max(atom_depth, symbols->depth(term));
+                }
+                if (trig.guard_image == PendingTrigger::kNoGuard) {
+                  result.forest.AddFloating(idx, atom_depth);
+                } else {
+                  result.forest.AddChild(idx, trig.guard_image,
+                                         atom_depth);
+                }
+              }
+              if (instance.size() > options.max_atoms) {
+                // The budget-tripping trigger did fire: keep the
+                // observer's OnFire tally equal to triggers_fired.
+                if (options.observer != nullptr) {
+                  options.observer->OnFire(trig.tgd_index,
+                                           instance.size());
+                }
+                merge_stop = ChaseOutcome::kAtomLimit;
+                return false;
+              }
+              if (j == num_heads - 1 && options.observer != nullptr) {
+                options.observer->OnFire(trig.tgd_index, instance.size());
+              }
+              return true;
+            });
+        if (merge_stop != ChaseOutcome::kTerminated) return merge_stop;
+        if (stop_outcome != ChaseOutcome::kTerminated) {
+          // The pass-1 failure at pending[batch_n] is this batch's
+          // first error in canonical order (every earlier trigger
+          // merged cleanly). The tripping trigger did fire; keep
+          // OnFire parity.
+          ++result.stats.triggers_fired;
+          if (options.observer != nullptr) {
+            options.observer->OnFire(pending[batch_n].tgd_index,
+                                     instance.size());
+          }
+          return stop_outcome;
         }
       }
     }

@@ -133,13 +133,16 @@ struct ChaseOptions {
   ///                (std::thread::hardware_concurrency).
   ///   N > 1        exactly N workers.
   ///
-  /// Only the semi-naive collect phase runs parallel; the canonical
-  /// merge, the restricted variant's head-satisfaction checks, null
-  /// creation and inserts stay single-threaded. Runs with
-  /// use_delta == false (the full-scan ablation baseline) or
-  /// build_forest == true fall back to the sequential engine — results
-  /// are identical either way, so the fallback is a cost statement, not
-  /// a semantic one.
+  /// Two engine phases run on the pool. The semi-naive collect phase
+  /// shards delta seeds across workers (it still requires use_delta and
+  /// !build_forest; other runs collect sequentially — a cost statement,
+  /// not a semantic one). The apply phase is parallel for every run
+  /// shape: head-tuple candidate construction and the sharded dedup
+  /// probes fan out, and for the restricted variant the
+  /// head-satisfaction pre-checks run read-only against the frozen
+  /// round-start instance. Null creation and the arena commits stay
+  /// serial in canonical trigger order — that, plus the canonical
+  /// merges, is what keeps the results byte-identical.
   std::uint32_t num_threads = kNumThreadsDefault;
 };
 
@@ -201,6 +204,14 @@ struct ChaseStats {
   /// gates this for bench_parallel_scaling, catching silent fallbacks
   /// that byte-identity alone can never catch).
   std::uint64_t parallel_rounds = 0;
+  /// Apply batches (one per rule, per round, with pending triggers)
+  /// whose parallel stages — candidate build and dedup probes, or the
+  /// restricted variant's pre-checks — ran on the worker pool. Engine
+  /// telemetry with the same status as parallel_rounds — outside the
+  /// byte-identity contract, 0 for sequential runs — and the same
+  /// purpose: tools/check_bench_regression gates it to catch a parallel
+  /// apply path silently falling back to serial.
+  std::uint64_t parallel_apply_batches = 0;
 };
 
 /// The result of a chase run: the constructed instance (equal to

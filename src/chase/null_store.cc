@@ -35,5 +35,25 @@ util::StatusOr<core::Term> NullStore::GetOrCreate(
   return *null;
 }
 
+NullStore::BindResult NullStore::BindTriggerNulls(
+    std::uint32_t tgd_index, const std::vector<core::Term>& existentials,
+    const std::vector<core::Term>& key_images,
+    const std::vector<core::Term>& depth_images,
+    std::uint32_t max_depth_limit, std::vector<core::Term>* out,
+    std::uint32_t* observed_max_depth) {
+  for (core::Term z : existentials) {
+    util::StatusOr<core::Term> null =
+        GetOrCreate(tgd_index, z, key_images, depth_images);
+    if (!null.ok()) return BindResult::kResourceExhausted;
+    out->push_back(*null);
+    const std::uint32_t depth = symbols_->depth(*null);
+    *observed_max_depth = std::max(*observed_max_depth, depth);
+    if (max_depth_limit != 0 && depth > max_depth_limit) {
+      return BindResult::kDepthLimit;
+    }
+  }
+  return BindResult::kOk;
+}
+
 }  // namespace chase
 }  // namespace nuchase

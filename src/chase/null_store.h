@@ -22,11 +22,21 @@ namespace chase {
 ///
 /// Thread safety: none — GetOrCreate mutates the store and interns
 /// into the scope on every miss. The chase engine only ever calls it
-/// from the single-threaded apply phase (trigger firing is serialized
-/// even when the collect phase runs on N workers), which is also what
-/// keeps null allocation order — and hence null names — deterministic.
+/// from the serial null-binding pass of its staged apply phase: even
+/// when collect, the candidate build and the dedup probes run on N
+/// workers, nulls are bound one trigger at a time in canonical order,
+/// which is what keeps null allocation order — and hence null names —
+/// deterministic and byte-identical across thread counts.
 class NullStore {
  public:
+  /// How binding a trigger's existential variables ended (the staged
+  /// apply phase's serial pass; see BindTriggerNulls).
+  enum class BindResult {
+    kOk,                 ///< Every null bound (all within the budget).
+    kDepthLimit,         ///< A null exceeded the depth budget.
+    kResourceExhausted,  ///< The scope ran out of null ids.
+  };
+
   explicit NullStore(core::SymbolScope* symbols) : symbols_(symbols) {}
 
   /// Returns the null ⊥^z_{σ, h|fr(σ)} for `tgd_index` (position of σ in
@@ -46,6 +56,25 @@ class NullStore {
       std::uint32_t tgd_index, core::Term existential_var,
       const std::vector<core::Term>& key_images,
       const std::vector<core::Term>& depth_images);
+
+  /// Binds every existential variable of one trigger in one call — the
+  /// unit of work of the apply phase's serial pass. For each variable of
+  /// `existentials` (σ's sorted existential order) the bound null is
+  /// appended to `*out` and `*observed_max_depth` is raised to its
+  /// depth. Stops at the first failure: a null deeper than
+  /// `max_depth_limit` (0 = unlimited; the breaching null still lands in
+  /// `*out` and still raises `*observed_max_depth`, mirroring how the
+  /// engine's depth statistic counts the breach itself) or an exhausted
+  /// scope (nothing appended for that variable). Nulls bound before the
+  /// failure stay bound — interning is idempotent, so a later retry of
+  /// the same trigger re-finds them.
+  BindResult BindTriggerNulls(std::uint32_t tgd_index,
+                              const std::vector<core::Term>& existentials,
+                              const std::vector<core::Term>& key_images,
+                              const std::vector<core::Term>& depth_images,
+                              std::uint32_t max_depth_limit,
+                              std::vector<core::Term>* out,
+                              std::uint32_t* observed_max_depth);
 
   std::size_t size() const { return store_.size(); }
 

@@ -113,13 +113,17 @@ struct AtomHash {
 };
 
 /// A stable, cheap handle to one atom of an Instance: its predicate plus
-/// the offset of its argument tuple in the instance's term arena. Offsets
-/// are assigned at insertion and never move, so an AtomRef stays valid
-/// for the lifetime of the instance regardless of later growth. The
-/// predicate's (fixed) arity rides along in otherwise-padding bytes so
-/// resolving a ref to its tuple is a single 16-byte load — the join
-/// kernel probes millions of refs; a second dependent lookup per probe
-/// is measurable.
+/// the offset of its argument tuple in the instance's term arena. The
+/// arena is a sequence of fixed-size extents and tuples never straddle
+/// an extent boundary, so the offset decomposes as
+/// (offset >> extent_log2, offset & extent_mask) — extent index plus
+/// slot — and the extent blocks themselves never move or reallocate:
+/// an AtomRef (and any pointer derived from it) stays valid for the
+/// lifetime of the instance regardless of later growth. The predicate's
+/// (fixed) arity rides along in otherwise-padding bytes so resolving a
+/// ref to its tuple costs one 16-byte load plus one extent-table load —
+/// the join kernel probes millions of refs; further dependent lookups
+/// per probe are measurable.
 struct AtomRef {
   std::uint64_t offset = 0;
   PredicateId predicate = kInvalidPredicate;
@@ -131,30 +135,26 @@ struct AtomRef {
 };
 
 /// A non-owning view of one stored atom: predicate + argument tuple read
-/// directly out of the owning instance's arena. Views resolve the arena
-/// through the vector object (not a raw buffer pointer), so inserting
-/// into the instance — which may reallocate the arena — does NOT
-/// invalidate previously obtained views; only destroying or moving the
-/// owning Instance does.
+/// directly out of the owning instance's arena. The view holds a raw
+/// pointer into the tuple's extent block; extents never move or
+/// reallocate, so inserting into the instance does NOT invalidate
+/// previously obtained views — and neither does moving the owning
+/// Instance (the blocks travel with it). Only destroying the instance
+/// (or moving-from it and destroying the destination) does.
 class AtomView {
  public:
-  AtomView() : arena_(nullptr) {}
-  AtomView(const std::vector<Term>* arena, PredicateId predicate,
-           std::uint64_t offset, std::uint32_t arity)
-      : arena_(arena), offset_(offset), predicate_(predicate),
-        arity_(arity) {}
+  AtomView() : tuple_(nullptr) {}
+  AtomView(const Term* tuple, PredicateId predicate, std::uint32_t arity)
+      : tuple_(tuple), predicate_(predicate), arity_(arity) {}
 
   PredicateId predicate() const { return predicate_; }
   std::uint32_t arity() const { return arity_; }
-  Term arg(std::uint32_t i) const { return (*arena_)[offset_ + i]; }
+  Term arg(std::uint32_t i) const { return tuple_[i]; }
 
-  /// The argument tuple as a raw span. Unlike the view itself, the span
-  /// points straight into the arena buffer and is invalidated by the
-  /// next insert into the owning instance — resolve it late, use it
-  /// immediately (the join kernel's pattern).
-  TermSpan terms() const {
-    return TermSpan(arena_->data() + offset_, arity_);
-  }
+  /// The argument tuple as a raw span, pointing straight into the
+  /// tuple's extent block. Like the view itself, the span survives
+  /// later inserts into the owning instance (extents are immobile).
+  TermSpan terms() const { return TermSpan(tuple_, arity_); }
 
   /// True iff every argument is a constant.
   bool IsFact() const {
@@ -171,8 +171,7 @@ class AtomView {
   std::string ToString(const SymbolScope& symbols) const;
 
  private:
-  const std::vector<Term>* arena_;
-  std::uint64_t offset_ = 0;
+  const Term* tuple_;
   PredicateId predicate_ = kInvalidPredicate;
   std::uint32_t arity_ = 0;
 };

@@ -8,87 +8,269 @@ namespace core {
 
 const std::vector<AtomIndex> Instance::kEmpty;
 constexpr AtomIndex Instance::kEmptySlot;
+constexpr AtomIndex Instance::kPendingBit;
 constexpr std::uint32_t Instance::kUnknownArity;
+constexpr std::uint32_t Instance::kDefaultExtentLog2;
+constexpr std::uint32_t Instance::kShardBits;
+constexpr std::uint32_t Instance::kNumShards;
 
-std::size_t Instance::ProbeSlot(PredicateId pred, TermSpan terms,
-                                std::size_t hash) const {
-  std::size_t slot = hash & slot_mask_;
+std::size_t Instance::ProbeShard(const Shard& shard, PredicateId pred,
+                                 TermSpan terms, std::size_t hash,
+                                 const Term* buffer,
+                                 const std::vector<BatchTuple>* batch)
+    const {
+  std::size_t slot = hash & shard.mask;
   while (true) {
-    AtomIndex idx = slots_[slot];
-    if (idx == kEmptySlot || TupleAt(idx, pred, terms)) return slot;
-    slot = (slot + 1) & slot_mask_;
+    AtomIndex idx = shard.slots[slot];
+    if (idx == kEmptySlot) return slot;
+    if ((idx & kPendingBit) != 0) {
+      // A slot claimed earlier in the current batch: compare against
+      // the batch buffer (the tuple is not in the arena yet).
+      // Placeholders never outlive InsertTupleBatch, so a probe without
+      // batch context can only mean table corruption.
+      assert(batch != nullptr && "pending placeholder outside a batch");
+      const BatchTuple& t = (*batch)[idx & ~kPendingBit];
+      if (t.pred == pred &&
+          TermSpan(buffer + t.begin, t.arity) == terms) {
+        return slot;
+      }
+    } else if (TupleAt(idx, pred, terms)) {
+      return slot;
+    }
+    slot = (slot + 1) & shard.mask;
   }
 }
 
-void Instance::GrowSlots() {
-  std::size_t new_size = slots_.empty() ? 64 : slots_.size() * 2;
-  slots_.assign(new_size, kEmptySlot);
-  slot_mask_ = new_size - 1;
-  for (AtomIndex idx = 0; idx < refs_.size(); ++idx) {
-    const AtomRef& ref = refs_[idx];
-    TermSpan tuple(arena_.data() + ref.offset, ref.arity);
-    std::size_t slot = TupleHash(ref.predicate, tuple) & slot_mask_;
-    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & slot_mask_;
-    slots_[slot] = idx;
+void Instance::GrowShard(Shard* shard) {
+  std::vector<AtomIndex> old = std::move(shard->slots);
+  std::size_t new_size = old.empty() ? 64 : old.size() * 2;
+  shard->slots.assign(new_size, kEmptySlot);
+  shard->mask = new_size - 1;
+  // Re-seat arena atoms first, then pending placeholders in batch
+  // order. This seating order is what keeps an early-stopped batch
+  // scrubbable: an entry's probe chain only crosses slots occupied
+  // before it was seated, so no kept entry's chain ever passes a
+  // later (scrub-eligible) placeholder's slot.
+  auto seat = [&](AtomIndex entry, std::size_t hash) {
+    std::size_t slot = hash & shard->mask;
+    while (shard->slots[slot] != kEmptySlot) {
+      slot = (slot + 1) & shard->mask;
+    }
+    shard->slots[slot] = entry;
+    return slot;
+  };
+  for (AtomIndex entry : old) {
+    if (entry == kEmptySlot || (entry & kPendingBit) != 0) continue;
+    const AtomRef& ref = refs_[entry];
+    seat(entry, TupleHash(ref.predicate,
+                          TermSpan(TuplePtr(ref.offset), ref.arity)));
+  }
+  std::vector<AtomIndex> pending;
+  for (AtomIndex entry : old) {
+    if (entry != kEmptySlot && (entry & kPendingBit) != 0) {
+      pending.push_back(entry);
+    }
+  }
+  std::sort(pending.begin(), pending.end());  // batch-position order
+  for (AtomIndex entry : pending) {
+    const AtomIndex pos = entry & ~kPendingBit;
+    // The claim recorded the placeholder's slot so the merge can patch
+    // (or the scrub can clear) it; moving the placeholder moves that
+    // record with it. Only this worker touches this shard's tuples, so
+    // the verdict entry is its to update.
+    batch_verdicts_[pos].slot = seat(entry, batch_hashes_[pos]);
   }
 }
 
-bool Instance::FindTuple(PredicateId pred, TermSpan terms,
-                         AtomIndex* index) const {
-  if (slots_.empty()) return false;
-  std::size_t slot = ProbeSlot(pred, terms, TupleHash(pred, terms));
-  if (slots_[slot] == kEmptySlot) return false;
-  *index = slots_[slot];
-  return true;
+std::uint64_t Instance::AppendTuple(const Term* src, std::uint32_t n) {
+  assert(n <= extent_capacity_ && "tuple arity exceeds extent capacity");
+  if (n == 0) {
+    // 0-ary atoms store no terms; give them a valid (never
+    // dereferenced) address in extent 0.
+    if (extents_.empty()) {
+      extents_.emplace_back(new Term[extent_capacity_]);
+    }
+    return 0;
+  }
+  std::uint64_t within = raw_next_ & extent_mask_;
+  if (within != 0 && extent_capacity_ - within < n) {
+    // The tuple would straddle the extent boundary: pad the tail (the
+    // padding terms are garbage and are never scanned — every reader
+    // walks refs_, not raw offsets) and start the next extent.
+    raw_next_ += extent_capacity_ - within;
+  }
+  const std::uint64_t offset = raw_next_;
+  const std::uint64_t extent = offset >> extent_log2_;
+  if (extent == extents_.size()) {
+    extents_.emplace_back(new Term[extent_capacity_]);
+  }
+  std::copy(src, src + n, extents_[extent].get() + (offset & extent_mask_));
+  raw_next_ = offset + n;
+  used_terms_ += n;
+  return offset;
 }
 
-std::pair<AtomIndex, bool> Instance::InsertTuple(PredicateId pred,
-                                                 TermSpan terms) {
-  // Keep the load factor below ~0.75 (counting the insert to come).
-  if ((refs_.size() + 1) * 4 >= slots_.size() * 3) GrowSlots();
-
-  std::size_t hash = TupleHash(pred, terms);
-  std::size_t slot = ProbeSlot(pred, terms, hash);
-  if (slots_[slot] != kEmptySlot) return {slots_[slot], false};
-
+AtomIndex Instance::CommitTuple(PredicateId pred, std::uint64_t offset,
+                                std::uint32_t n) {
   if (pred >= pred_arity_.size()) {
     pred_arity_.resize(pred + 1, kUnknownArity);
   }
   if (pred_arity_[pred] == kUnknownArity) {
-    pred_arity_[pred] = terms.size();
+    pred_arity_[pred] = n;
   }
-  assert(pred_arity_[pred] == terms.size() &&
+  assert(pred_arity_[pred] == n &&
          "predicate arity is fixed per Instance");
-
-  // Append the tuple to the arena. `terms` may alias the arena itself
-  // (re-inserting a view's tuple), and growth would invalidate it:
-  // translate an aliasing span to its offset, reserve, then re-derive.
-  const std::uint64_t offset = arena_.size();
-  const Term* src = terms.data();
-  const std::uint32_t n = terms.size();
-  if (src >= arena_.data() && src < arena_.data() + arena_.size()) {
-    std::uint64_t src_offset = static_cast<std::uint64_t>(
-        src - arena_.data());
-    arena_.resize(arena_.size() + n);
-    src = arena_.data() + src_offset;
-    std::copy(src, src + n, arena_.begin() + offset);
-  } else {
-    arena_.insert(arena_.end(), src, src + n);
-  }
 
   AtomIndex idx = static_cast<AtomIndex>(refs_.size());
   refs_.emplace_back(pred, offset, n);
-  slots_[slot] = idx;
 
+  const Term* tuple = TuplePtr(offset);
   by_predicate_[pred].push_back(idx);
   for (std::uint32_t i = 0; i < n; ++i) {
-    by_position_[PosKey{pred, i, arena_[offset + i]}].push_back(idx);
+    by_position_[PosKey{pred, i, tuple[i]}].push_back(idx);
   }
   if (track_delta_) {
     delta_next_[pred].push_back(idx);
     ++delta_next_size_;
   }
+  return idx;
+}
+
+bool Instance::FindTuple(PredicateId pred, TermSpan terms,
+                         AtomIndex* index) const {
+  std::size_t hash = TupleHash(pred, terms);
+  const Shard& shard = shards_[ShardOf(hash)];
+  if (shard.slots.empty()) return false;
+  std::size_t slot =
+      ProbeShard(shard, pred, terms, hash, nullptr, nullptr);
+  if (shard.slots[slot] == kEmptySlot) return false;
+  *index = shard.slots[slot];
+  return true;
+}
+
+std::pair<AtomIndex, bool> Instance::InsertTuple(PredicateId pred,
+                                                 TermSpan terms) {
+  std::size_t hash = TupleHash(pred, terms);
+  Shard& shard = shards_[ShardOf(hash)];
+  // Keep the shard's load factor below ~0.75 (counting the insert to
+  // come).
+  if ((shard.entries + 1) * 4 >= shard.slots.size() * 3) {
+    GrowShard(&shard);
+  }
+  std::size_t slot = ProbeShard(shard, pred, terms, hash, nullptr, nullptr);
+  if (shard.slots[slot] != kEmptySlot) return {shard.slots[slot], false};
+
+  const std::uint64_t offset = AppendTuple(terms.data(), terms.size());
+  AtomIndex idx = CommitTuple(pred, offset, terms.size());
+  shard.slots[slot] = idx;
+  ++shard.entries;
   return {idx, true};
+}
+
+std::size_t Instance::InsertTupleBatch(
+    const Term* buffer, const std::vector<BatchTuple>& tuples,
+    util::ThreadPool* pool,
+    const std::function<bool(std::size_t, AtomIndex, bool)>& on_merged) {
+  const std::size_t n = tuples.size();
+  if (n == 0) return 0;
+  batch_hashes_.resize(n);
+  batch_verdicts_.resize(n);
+  batch_indexes_.resize(n);
+
+  // Stage 1: hash every tuple. Parallel over tuples; pure.
+  util::ParallelChunks(
+      pool, n, /*min_chunk=*/64,
+      [&](unsigned, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const BatchTuple& t = tuples[i];
+          batch_hashes_[i] =
+              TupleHash(t.pred, TermSpan(buffer + t.begin, t.arity));
+        }
+      });
+
+  // Stage 2: probe the shards. Each worker owns a fixed subset of
+  // shards and walks the whole batch in order, so every shard's slot
+  // table evolves in batch order no matter how many workers run — the
+  // verdicts (and the table layout) are scheduling-independent. First
+  // occurrences claim their slot with a pending placeholder so later
+  // duplicates in the same batch resolve against them.
+  const unsigned shard_workers =
+      pool != nullptr
+          ? std::min(pool->workers(), static_cast<unsigned>(kNumShards))
+          : 1u;
+  auto probe_shards = [&](unsigned w, unsigned stride) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t shard_id = ShardOf(batch_hashes_[i]);
+      if (shard_id % stride != w) continue;
+      Shard& shard = shards_[shard_id];
+      const BatchTuple& t = tuples[i];
+      TermSpan terms(buffer + t.begin, t.arity);
+      if ((shard.entries + 1) * 4 >= shard.slots.size() * 3) {
+        GrowShard(&shard);
+      }
+      std::size_t slot = ProbeShard(shard, t.pred, terms,
+                                    batch_hashes_[i], buffer, &tuples);
+      BatchVerdict& v = batch_verdicts_[i];
+      const AtomIndex occupant = shard.slots[slot];
+      if (occupant == kEmptySlot) {
+        v.kind = 0;
+        v.slot = slot;
+        shard.slots[slot] =
+            kPendingBit | static_cast<AtomIndex>(i);
+        ++shard.entries;
+      } else if ((occupant & kPendingBit) != 0) {
+        v.kind = 2;
+        v.ref = occupant & ~kPendingBit;
+      } else {
+        v.kind = 1;
+        v.ref = occupant;
+      }
+    }
+  };
+  if (shard_workers > 1) {
+    pool->Run([&](unsigned w) {
+      if (w < shard_workers) probe_shards(w, shard_workers);
+    });
+  } else {
+    probe_shards(0, 1);
+  }
+
+  // Stage 3: serial merge in batch order — the only stage that touches
+  // the arena, the directory or the layered indexes, so their contents
+  // are identical to the sequential InsertTuple loop's.
+  std::size_t merged = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchTuple& t = tuples[i];
+    const BatchVerdict& v = batch_verdicts_[i];
+    AtomIndex idx;
+    bool fresh = false;
+    if (v.kind == 0) {
+      const std::uint64_t offset = AppendTuple(buffer + t.begin, t.arity);
+      idx = CommitTuple(t.pred, offset, t.arity);
+      Shard& shard = shards_[ShardOf(batch_hashes_[i])];
+      shard.slots[v.slot] = idx;  // patch the placeholder
+      fresh = true;
+    } else if (v.kind == 1) {
+      idx = v.ref;
+    } else {
+      idx = batch_indexes_[v.ref];  // duplicate of an earlier position
+    }
+    batch_indexes_[i] = idx;
+    ++merged;
+    if (!on_merged(i, idx, fresh)) {
+      // Scrub the claims of the tuples that will not be inserted. Safe
+      // by the seating-order invariant (see GrowShard): no surviving
+      // entry's probe chain passes a later placeholder's slot.
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (batch_verdicts_[j].kind != 0) continue;
+        Shard& shard = shards_[ShardOf(batch_hashes_[j])];
+        shard.slots[batch_verdicts_[j].slot] = kEmptySlot;
+        --shard.entries;
+      }
+      break;
+    }
+  }
+  return merged;
 }
 
 std::size_t Instance::AdvanceDelta() {
@@ -119,12 +301,17 @@ const std::vector<AtomIndex>& Instance::AtomsWithTermAt(PredicateId pred,
 }
 
 const std::vector<Term>& Instance::ActiveDomain() const {
-  // Catch the cache up over the terms appended since the last call;
-  // arena order is insertion order, so first-occurrence order is
-  // deterministic.
-  for (; domain_scanned_ < arena_.size(); ++domain_scanned_) {
-    Term t = arena_[domain_scanned_];
-    if (domain_seen_.insert(t).second) domain_.push_back(t);
+  // Catch the cache up over the atoms inserted since the last call;
+  // tuples are walked in insertion order, so first-occurrence order is
+  // deterministic (and extent padding is never visited).
+  for (; domain_scanned_ < refs_.size(); ++domain_scanned_) {
+    const AtomRef& ref = refs_[domain_scanned_];
+    const Term* tuple = TuplePtr(ref.offset);
+    for (std::uint32_t i = 0; i < ref.arity; ++i) {
+      if (domain_seen_.insert(tuple[i]).second) {
+        domain_.push_back(tuple[i]);
+      }
+    }
   }
   return domain_;
 }

@@ -2,6 +2,7 @@
 #define NUCHASE_CORE_INSTANCE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -9,6 +10,7 @@
 
 #include "core/atom.h"
 #include "core/symbol_table.h"
+#include "util/thread_pool.h"
 
 namespace nuchase {
 namespace core {
@@ -16,53 +18,125 @@ namespace core {
 /// Index of an atom within an Instance, in insertion order.
 using AtomIndex = std::uint32_t;
 
+/// One tuple of a batched insert (Instance::InsertTupleBatch): the atom
+/// `pred(buffer[begin], ..., buffer[begin + arity - 1])` over the
+/// caller's shared candidate term buffer.
+struct BatchTuple {
+  PredicateId pred = kInvalidPredicate;
+  std::uint64_t begin = 0;
+  std::uint32_t arity = 0;
+};
+
 /// A (finite prefix of an) instance: a duplicate-free, insertion-ordered
 /// set of atoms over constants and nulls, stored columnar ("VLog-style"):
 ///
-///   - one flat term arena (`std::vector<Term>`) holds every argument
-///     tuple back to back in insertion order — no per-atom heap
-///     allocation, ~4 bytes per term plus a fixed per-atom handle;
+///   - the term arena is a sequence of fixed-size extents (2^extent_log2
+///     terms each, default 2^16); argument tuples are appended back to
+///     back and never straddle an extent boundary (short tail gaps are
+///     padded and excluded from every accounting number). Extent blocks
+///     never move or reallocate, so a tuple's address — and therefore
+///     every AtomView and raw span handed out — is stable for the life
+///     of the instance, with no realloc pauses on growth;
 ///   - a directory of AtomRefs (predicate + arena offset) maps AtomIndex
 ///     to its tuple; arity is fixed per predicate, learned at the first
 ///     insert of that predicate, so a ref fully determines the row
 ///     extent;
 ///   - dedup is an open-addressing hash set of AtomIndexes keyed by
 ///     (predicate, tuple) that probes the arena directly — Contains /
-///     Find / Insert never materialize an Atom;
+///     Find / Insert never materialize an Atom. The set is split into
+///     kNumShards sub-tables addressed by the HIGH bits of the tuple
+///     hash (slots within a shard use the low bits), so a batched
+///     insert can probe all shards in parallel with no locks: a shard
+///     is only ever touched by the one worker that owns it;
 ///   - the per-predicate and per-(predicate, position, term) lists the
 ///     chase engine joins against, plus the two-generation delta index
 ///     of the semi-naive engine, are layered on top as index structures.
 ///
-/// Atoms are exposed as AtomView handles (see core/atom.h): views stay
-/// valid across later inserts (offsets are stable and the arena is
-/// resolved through the vector object); only destroying or moving the
-/// Instance invalidates them.
+/// Atoms are exposed as AtomView handles (see core/atom.h): views point
+/// straight into the immobile extent blocks, so they stay valid across
+/// later inserts and across moves of the Instance; only destroying the
+/// owning storage invalidates them.
 ///
 /// Thread safety: between mutations, concurrent const reads are safe
 /// for the accessors the join kernel uses — FindTuple / ContainsTuple,
 /// atom(), TupleData(), AtomsWithPredicate, AtomsWithTermAt,
 /// DeltaAtomsWithPredicate, size(), PredicateArity — none of them
 /// mutate anything, not even lazily. This is the contract the parallel
-/// trigger engine relies on: during a collect region the instance is
-/// frozen and every worker probes it read-only. Two exceptions are NOT
-/// safe concurrently: ActiveDomain() (lazily catches a mutable cache
-/// up) and, of course, any non-const method; no mutation may overlap
-/// any read.
+/// trigger engine relies on: during a collect region (and during the
+/// apply phase's read-only pre-checks) the instance is frozen and every
+/// worker probes it read-only. Two exceptions are NOT safe
+/// concurrently: ActiveDomain() (lazily catches a mutable cache up)
+/// and, of course, any non-const method; no mutation may overlap any
+/// read. InsertTupleBatch is a mutation: its internal hash/probe stages
+/// run on the caller's pool, but the call as a whole must be exclusive,
+/// like any other insert.
 class Instance {
  public:
-  Instance() = default;
+  /// Terms per extent = 2^kDefaultExtentLog2. 2^16 terms = 256 KiB per
+  /// extent: big enough that padding waste is negligible, small enough
+  /// that growth never copies or stalls.
+  static constexpr std::uint32_t kDefaultExtentLog2 = 16;
+
+  /// Dedup shards. Shard = high bits of the tuple hash; slot = low
+  /// bits. 16 shards keep the per-shard tables dense while exceeding
+  /// any worker count the pool realistically runs with.
+  static constexpr std::uint32_t kShardBits = 4;
+  static constexpr std::uint32_t kNumShards = 1u << kShardBits;
+
+  Instance() : Instance(kDefaultExtentLog2) {}
+
+  /// An instance whose arena extents hold 2^extent_log2 terms. Only
+  /// tests shrink this (to force tuples across extent boundaries);
+  /// every tuple's arity must fit in one extent.
+  explicit Instance(std::uint32_t extent_log2)
+      : extent_log2_(extent_log2),
+        extent_capacity_(std::uint64_t{1} << extent_log2),
+        extent_mask_(extent_capacity_ - 1) {}
+
+  Instance(Instance&&) = default;
+  Instance& operator=(Instance&&) = default;
 
   /// The fast path: inserts the tuple `pred(terms...)` without
   /// materializing an Atom. Returns the atom's index and whether it was
   /// new. `terms` may alias this instance's own arena (re-inserting a
-  /// view's tuple is safe). The tuple's size must equal the arity every
-  /// earlier tuple of `pred` had.
+  /// view's tuple is safe — extents are immobile, so no growth can
+  /// invalidate the source). The tuple's size must equal the arity
+  /// every earlier tuple of `pred` had.
   std::pair<AtomIndex, bool> InsertTuple(PredicateId pred, TermSpan terms);
 
   /// Convenience wrapper over InsertTuple for materialized atoms.
   std::pair<AtomIndex, bool> Insert(const Atom& atom) {
     return InsertTuple(atom.predicate, atom.terms());
   }
+
+  /// Batched insert — the apply phase of the parallel chase engine.
+  /// Processes `tuples` (whose terms live in the caller's `buffer`)
+  /// exactly as the equivalent InsertTuple loop would, in three stages:
+  ///
+  ///   1. hash every tuple (parallel over tuples);
+  ///   2. probe the dedup shards (parallel over shards: each worker
+  ///      owns a subset of shards and walks the batch in order,
+  ///      claiming slots for first occurrences with placeholder marks
+  ///      and growing its own shards locally — no two workers ever
+  ///      touch the same shard);
+  ///   3. merge serially in batch order: assign atom indexes, append
+  ///      tuples to the arena, patch the claimed slots, and maintain
+  ///      the join/delta indexes.
+  ///
+  /// `on_merged(pos, index, fresh)` is called once per tuple, in batch
+  /// order, after that tuple is fully applied; returning false stops
+  /// the merge (remaining tuples are NOT inserted and their claimed
+  /// slots are scrubbed, leaving the dedup set exactly consistent with
+  /// the atoms actually kept). Returns the number of tuples merged.
+  ///
+  /// Stages 1 and 2 run on `pool` when it has more than one worker,
+  /// inline otherwise; the result — indexes, arena bytes, dedup
+  /// verdicts, callback sequence — is byte-identical either way, and
+  /// identical to the sequential InsertTuple loop.
+  std::size_t InsertTupleBatch(
+      const Term* buffer, const std::vector<BatchTuple>& tuples,
+      util::ThreadPool* pool,
+      const std::function<bool(std::size_t, AtomIndex, bool)>& on_merged);
 
   bool ContainsTuple(PredicateId pred, TermSpan terms) const {
     AtomIndex ignored;
@@ -82,14 +156,16 @@ class Instance {
   /// A view of the i-th atom (insertion order). Cheap; resolve freely.
   AtomView atom(AtomIndex i) const {
     const AtomRef& ref = refs_[i];
-    return AtomView(&arena_, ref.predicate, ref.offset, ref.arity);
+    return AtomView(TuplePtr(ref.offset), ref.predicate, ref.arity);
   }
 
-  /// Raw pointer to the i-th atom's argument tuple in the arena — the
-  /// join kernel's per-probe accessor (a single dependent load).
-  /// Invalidated by the next insert; see AtomView for the stable form.
+  /// Raw pointer to the i-th atom's argument tuple in its extent — the
+  /// join kernel's per-probe accessor (one ref load + one extent-table
+  /// load). Extents are immobile, so unlike the pre-extent arena this
+  /// pointer is NOT invalidated by later inserts; it lives as long as
+  /// the instance's storage.
   const Term* TupleData(AtomIndex i) const {
-    return arena_.data() + refs_[i].offset;
+    return TuplePtr(refs_[i].offset);
   }
 
   std::size_t size() const { return refs_.size(); }
@@ -137,62 +213,124 @@ class Instance {
                                                 Term t) const;
 
   /// dom(I): the active domain (constants and nulls occurring in the
-  /// instance). Maintained incrementally behind an arena watermark:
-  /// each call only scans terms appended since the previous call, so
-  /// the total work over any insert/read interleaving is O(arena) —
-  /// and inserts themselves pay nothing for it. Deterministic
-  /// iteration order: first occurrence in the insertion sequence.
-  /// (Catch-up mutates cache members; do not call concurrently on a
-  /// shared Instance.)
+  /// instance). Maintained incrementally behind an atom-index
+  /// watermark: each call only scans the tuples of atoms inserted
+  /// since the previous call, so the total work over any insert/read
+  /// interleaving is O(terms) — and inserts themselves pay nothing for
+  /// it. (The watermark walks refs, not raw arena positions, so extent
+  /// padding is never scanned.) Deterministic iteration order: first
+  /// occurrence in the insertion sequence. (Catch-up mutates cache
+  /// members; do not call concurrently on a shared Instance.)
   const std::vector<Term>& ActiveDomain() const;
 
   // Memory accounting ------------------------------------------------------
 
-  /// Bytes of term storage held in the arena (used, not capacity):
-  /// deterministic for a given atom set, the `arena_bytes` chase counter.
+  /// Bytes of term storage the stored tuples occupy (used terms only:
+  /// neither extent capacity nor boundary padding counts), so the
+  /// number is deterministic for a given atom set regardless of extent
+  /// geometry — the `arena_bytes` chase counter.
   std::uint64_t arena_bytes() const {
-    return static_cast<std::uint64_t>(arena_.size()) * sizeof(Term);
+    return used_terms_ * sizeof(Term);
   }
 
-  /// Terms stored in the arena.
-  std::uint64_t arena_terms() const { return arena_.size(); }
+  /// Terms stored in the arena (used, not padding or capacity).
+  std::uint64_t arena_terms() const { return used_terms_; }
 
   /// Sorted multi-line rendering (stable across runs), for tests and goldens.
   std::string ToSortedString(const SymbolScope& symbols) const;
 
  private:
   static constexpr AtomIndex kEmptySlot = 0xffffffffu;
+  /// During InsertTupleBatch's probe stage, a claimed-but-not-merged
+  /// slot holds kPendingBit | batch position; the merge patches it to
+  /// the real AtomIndex (or scrubs it on early stop).
+  static constexpr AtomIndex kPendingBit = 0x80000000u;
 
-  /// Probes the open-addressing table for (pred, terms) with its
-  /// precomputed hash. Returns the slot holding the matching atom's
-  /// index, or the empty slot where it would be inserted.
-  std::size_t ProbeSlot(PredicateId pred, TermSpan terms,
-                        std::size_t hash) const;
+  /// One dedup shard: an open-addressing table of AtomIndexes whose
+  /// slot is taken from the LOW bits of the tuple hash (the shard id
+  /// uses the high bits, so the two are independent).
+  struct Shard {
+    std::vector<AtomIndex> slots;
+    std::size_t mask = 0;    // slots.size() - 1 (power of two)
+    std::size_t entries = 0; // arena atoms + pending placeholders
+  };
 
-  /// Doubles the slot table and re-seats every atom (hashes are
-  /// recomputed from the arena).
-  void GrowSlots();
+  static std::uint32_t ShardOf(std::size_t hash) {
+    return static_cast<std::uint32_t>(
+        hash >> (sizeof(std::size_t) * 8 - kShardBits));
+  }
+
+  const Term* TuplePtr(std::uint64_t offset) const {
+    return extents_[offset >> extent_log2_].get() +
+           (offset & extent_mask_);
+  }
+
+  /// Probes `shard` for (pred, terms) with its precomputed hash.
+  /// Returns the slot holding the matching atom's index, or the empty
+  /// slot where it would be inserted. `batch` non-null enables matching
+  /// pending placeholders against the batch being inserted.
+  std::size_t ProbeShard(const Shard& shard, PredicateId pred,
+                         TermSpan terms, std::size_t hash,
+                         const Term* buffer,
+                         const std::vector<BatchTuple>* batch) const;
+
+  /// Grows `shard` (doubling) and re-seats its entries: arena atoms
+  /// first, then pending placeholders in batch order (their hashes are
+  /// read from batch_hashes_) — the seating order that keeps an
+  /// early-stopped batch scrubbable (no kept entry's probe chain ever
+  /// crosses a later placeholder's slot).
+  void GrowShard(Shard* shard);
+
+  /// Appends a tuple to the arena (padding to the next extent if the
+  /// current one cannot hold it whole) and returns its offset. The
+  /// source may alias the arena: extents are immobile and the target
+  /// region is fresh, so the copy is safe either way.
+  std::uint64_t AppendTuple(const Term* src, std::uint32_t n);
+
+  /// Index-side bookkeeping shared by InsertTuple and the batch merge:
+  /// records the freshly appended tuple (already in the arena at
+  /// `offset`) in refs_ and every layered index. Returns its index.
+  AtomIndex CommitTuple(PredicateId pred, std::uint64_t offset,
+                        std::uint32_t n);
 
   bool TupleAt(AtomIndex idx, PredicateId pred, TermSpan terms) const {
     const AtomRef& ref = refs_[idx];
     if (ref.predicate != pred) return false;
-    return TermSpan(arena_.data() + ref.offset, ref.arity) == terms;
+    return TermSpan(TuplePtr(ref.offset), ref.arity) == terms;
   }
 
-  // Columnar storage: the flat term arena plus the AtomIndex -> AtomRef
-  // directory. Tuples are appended back to back; atom i's tuple lives at
-  // [refs_[i].offset, refs_[i].offset + pred_arity_[refs_[i].predicate]).
-  std::vector<Term> arena_;
+  // Columnar storage: immobile fixed-size term extents plus the
+  // AtomIndex -> AtomRef directory. Tuples are appended back to back
+  // (padding at extent boundaries); atom i's tuple lives at
+  // [refs_[i].offset, refs_[i].offset + refs_[i].arity) within extent
+  // refs_[i].offset >> extent_log2_.
+  std::uint32_t extent_log2_;
+  std::uint64_t extent_capacity_;
+  std::uint64_t extent_mask_;
+  std::vector<std::unique_ptr<Term[]>> extents_;
+  std::uint64_t raw_next_ = 0;    // next raw append offset (incl. padding)
+  std::uint64_t used_terms_ = 0;  // stored terms (excl. padding)
   std::vector<AtomRef> refs_;
   // predicate -> fixed arity, learned at first insert (kUnknownArity
   // before that).
   static constexpr std::uint32_t kUnknownArity = 0xffffffffu;
   std::vector<std::uint32_t> pred_arity_;
 
-  // Open-addressing dedup set over (predicate, arena tuple). Slots hold
-  // AtomIndexes; keys are read straight from the arena on comparison.
-  std::vector<AtomIndex> slots_;
-  std::size_t slot_mask_ = 0;  // slots_.size() - 1 (power of two)
+  // Sharded open-addressing dedup set over (predicate, arena tuple).
+  // Slots hold AtomIndexes; keys are read straight from the arena on
+  // comparison.
+  Shard shards_[kNumShards];
+
+  // Scratch for InsertTupleBatch (member so repeated batches reuse the
+  // allocations): per-tuple hashes and probe verdicts.
+  struct BatchVerdict {
+    std::uint8_t kind = 0;   // 0 fresh, 1 existing, 2 dup-of-batch
+    std::uint32_t ref = 0;   // existing AtomIndex / earlier batch pos
+    std::uint64_t slot = 0;  // claimed slot (kind 0)
+  };
+  std::vector<std::size_t> batch_hashes_;
+  std::vector<BatchVerdict> batch_verdicts_;
+  std::vector<AtomIndex> batch_indexes_;
 
   // predicate -> atom indexes
   std::unordered_map<PredicateId, std::vector<AtomIndex>> by_predicate_;
@@ -215,15 +353,15 @@ class Instance {
   };
   std::unordered_map<PosKey, std::vector<AtomIndex>, PosKeyHash> by_position_;
 
-  // Active-domain cache: `domain_` lists every distinct term of
-  // arena_[0, domain_scanned_) in first-occurrence order
+  // Active-domain cache: `domain_` lists every distinct term of the
+  // first `domain_scanned_` atoms' tuples in first-occurrence order
   // (deterministic), `domain_seen_` is the membership filter behind
   // it. Caught up lazily by ActiveDomain() so the insert fast path
   // never touches it; mutable because catch-up happens in the const
   // accessor.
   mutable std::vector<Term> domain_;
   mutable std::unordered_set<Term> domain_seen_;
-  mutable std::uint64_t domain_scanned_ = 0;
+  mutable AtomIndex domain_scanned_ = 0;
 
   // Two-generation delta index (semi-naive evaluation): fresh inserts
   // land in delta_next_; AdvanceDelta() rotates next -> curr. Maintained

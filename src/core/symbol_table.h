@@ -160,6 +160,16 @@ class SymbolOverlay final : public SymbolScope {
   explicit SymbolOverlay(const SymbolTable& base)
       : base_(&base), base_nulls_(base.num_nulls()) {}
 
+  /// Test-only: pretends the base already holds `assume_base_nulls`
+  /// nulls, so the Term-index budget left for this overlay is exactly
+  /// Term::kIndexMask + 1 - assume_base_nulls. Regression tests use it
+  /// to trip kResourceExhausted after a handful of allocations instead
+  /// of 2^30. The phantom base nulls must never be resolved — depth()
+  /// and TermToString() on a null the overlay did not allocate read the
+  /// real base and would answer for the wrong null (or walk off it).
+  SymbolOverlay(const SymbolTable& base, std::uint32_t assume_base_nulls)
+      : base_(&base), base_nulls_(assume_base_nulls) {}
+
   util::StatusOr<Term> MakeNull(std::uint32_t depth) override;
   std::uint32_t depth(Term t) const override;
 

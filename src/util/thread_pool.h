@@ -1,6 +1,8 @@
 #ifndef NUCHASE_UTIL_THREAD_POOL_H_
 #define NUCHASE_UTIL_THREAD_POOL_H_
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -68,6 +70,41 @@ class ThreadPool {
   unsigned outstanding_ = 0;      // helpers still inside the region
   bool shutdown_ = false;
 };
+
+/// Runs `fn(worker, begin, end)` over [0, count) split into dynamically
+/// claimed contiguous chunks — the fork/join idiom shared by the
+/// chase engine's collect and apply stages and the storage layer's
+/// batched insert. Chunks are at least `min_chunk` items (and sized so
+/// each worker claims ~8 on an even split, amortizing the atomic).
+/// With a null pool or a single worker the whole range runs inline on
+/// the caller as fn(0, 0, count), so callers keep one code path for
+/// every thread count.
+///
+/// Determinism contract: which worker runs which chunk (and in what
+/// interleaving) is scheduling-dependent, so `fn` must write only to
+/// per-item or per-worker slots; any order-sensitive reduction belongs
+/// after the region returns.
+template <typename Fn>
+inline void ParallelChunks(ThreadPool* pool, std::size_t count,
+                           std::size_t min_chunk, Fn&& fn) {
+  if (count == 0) return;
+  if (pool == nullptr || pool->workers() <= 1) {
+    fn(0u, static_cast<std::size_t>(0), count);
+    return;
+  }
+  const std::size_t chunk = std::max<std::size_t>(
+      std::max<std::size_t>(1, min_chunk),
+      count / (static_cast<std::size_t>(pool->workers()) * 8));
+  std::atomic<std::size_t> next{0};
+  pool->Run([&](unsigned w) {
+    while (true) {
+      const std::size_t begin =
+          next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) break;
+      fn(w, begin, std::min(begin + chunk, count));
+    }
+  });
+}
 
 }  // namespace util
 }  // namespace nuchase

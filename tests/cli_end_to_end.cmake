@@ -65,6 +65,21 @@ run_cli(out 0 rewrite --mode=simplify "${PROGRAM_FILE}")
 
 # Error paths: unknown command and missing file must fail loudly.
 run_cli(out 2 badcommand "${PROGRAM_FILE}")
+
+# Malformed numeric flags must be rejected (exit 2), never silently
+# parsed as 0: trailing junk, empty values, signs, non-digits, values
+# past the flag's range, and overflow past unsigned long long.
+run_cli(out 2 chase --max-atoms=abc "${PROGRAM_FILE}")
+run_cli(out 2 chase --max-rounds= "${PROGRAM_FILE}")
+run_cli(out 2 chase --max-depth=12x "${PROGRAM_FILE}")
+run_cli(out 2 chase --deadline-ms=-5 "${PROGRAM_FILE}")
+run_cli(out 2 chase --threads=two "${PROGRAM_FILE}")
+run_cli(out 2 chase --threads=257 "${PROGRAM_FILE}")
+run_cli(out 2 chase --max-rounds=99999999999999999999 "${PROGRAM_FILE}")
+run_cli(out 2 chase --max-depth=4294967296 "${PROGRAM_FILE}")
+# The well-formed spellings of the same budgets still work.
+run_cli(out 0 chase --max-rounds=50 --max-depth=10 "${PROGRAM_FILE}")
+expect_line("${out}" "outcome:    terminated" "chase with budgets")
 execute_process(
     COMMAND "${NUCHASE_CLI}" classify "${WORK_DIR}/no_such_file.tgd"
     OUTPUT_QUIET ERROR_QUIET

@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chase/chase.h"
+#include "core/symbol_table.h"
+#include "core/term.h"
 #include "tgd/classify.h"
 #include "tgd/parser.h"
 #include "workload/depth_family.h"
@@ -147,6 +150,18 @@ TEST_P(DeltaDiffRandomTest, ParallelThreadsAreByteIdentical) {
       EXPECT_EQ(cell.result.stats.peak_atoms,
                 reference.result.stats.peak_atoms)
           << label;
+      // Engagement telemetry (outside the identity contract): the
+      // sequential reference must never report parallel apply batches,
+      // and a multi-threaded run that applied at least one trigger must
+      // have taken the parallel apply path — byte-identity alone cannot
+      // catch a silent fallback to the serial code.
+      EXPECT_EQ(reference.result.stats.parallel_apply_batches, 0u)
+          << label;
+      if (cell.result.stats.triggers_fired +
+              cell.result.stats.triggers_satisfied >
+          0) {
+        EXPECT_GT(cell.result.stats.parallel_apply_batches, 0u) << label;
+      }
     }
   }
 }
@@ -244,6 +259,126 @@ TEST(DeltaDiffDirectedTest, WideDepthFamilyParallelAgrees) {
     EXPECT_EQ(cells[0].result.stats.join_probes,
               cells[1].result.stats.join_probes)
         << label;
+  }
+}
+
+/// The apply phase parallelizes even for run shapes the collect phase
+/// refuses (here: the full-scan baseline, use_delta = false). Such runs
+/// must report zero parallel_rounds but a nonzero parallel apply count,
+/// and stay byte-identical to the sequential engine — the apply stages
+/// are the only pooled work they do.
+TEST(DeltaDiffDirectedTest, ApplyOnlyParallelIsByteIdentical) {
+  for (chase::ChaseVariant variant : kVariants) {
+    CellResult reference;
+    {
+      core::SymbolTable symbols;
+      workload::Workload w = workload::MakeWideDepthFamily(
+          &symbols, /*layers=*/6, /*width=*/4, /*payloads=*/3,
+          /*noise=*/5);
+      chase::ChaseOptions copt;
+      copt.variant = variant;
+      copt.max_atoms = 3000;
+      copt.use_delta = false;
+      copt.num_threads = 1;
+      reference.result = chase::RunChase(&symbols, w.tgds, w.database,
+                                         copt);
+      reference.sorted = reference.result.instance.ToSortedString(symbols);
+    }
+    ASSERT_GT(reference.result.stats.triggers_fired, 0u);
+    for (std::uint32_t num_threads : {2u, 3u, 8u}) {
+      core::SymbolTable symbols;
+      workload::Workload w = workload::MakeWideDepthFamily(
+          &symbols, /*layers=*/6, /*width=*/4, /*payloads=*/3,
+          /*noise=*/5);
+      chase::ChaseOptions copt;
+      copt.variant = variant;
+      copt.max_atoms = 3000;
+      copt.use_delta = false;
+      copt.num_threads = num_threads;
+      chase::ChaseResult r = chase::RunChase(&symbols, w.tgds, w.database,
+                                             copt);
+      std::string label = std::string(chase::ChaseVariantName(variant)) +
+                          " threads=" + std::to_string(num_threads);
+      EXPECT_EQ(r.outcome, reference.result.outcome) << label;
+      EXPECT_EQ(r.instance.ToSortedString(symbols), reference.sorted)
+          << label;
+      EXPECT_EQ(r.stats.triggers_fired,
+                reference.result.stats.triggers_fired)
+          << label;
+      EXPECT_EQ(r.stats.triggers_satisfied,
+                reference.result.stats.triggers_satisfied)
+          << label;
+      EXPECT_EQ(r.stats.join_probes, reference.result.stats.join_probes)
+          << label;
+      EXPECT_EQ(r.stats.arena_bytes, reference.result.stats.arena_bytes)
+          << label;
+      // Collect stays sequential without the delta engine; only the
+      // apply stages ran on the pool.
+      EXPECT_EQ(r.stats.parallel_rounds, 0u) << label;
+      EXPECT_GT(r.stats.parallel_apply_batches, 0u) << label;
+    }
+    EXPECT_EQ(reference.result.stats.parallel_rounds, 0u);
+    EXPECT_EQ(reference.result.stats.parallel_apply_batches, 0u);
+  }
+}
+
+/// Null-id exhaustion must surface as a clean kResourceExhausted through
+/// the staged apply path at every thread count: same outcome, same
+/// deterministic counters, and the same (untorn) instance prefix as the
+/// sequential engine, with earlier triggers of the failing batch
+/// committed and nothing after the failure point. The overlay's
+/// assumed-base-nulls budget trips the 2^30 Term-index cap after three
+/// allocations instead of a billion.
+TEST(DeltaDiffDirectedTest, ResourceExhaustionIsThreadCountInvariant) {
+  // Six facts, one single-round rule allocating one null per firing: the
+  // fourth binding in the batch exhausts a budget of three.
+  const char* text =
+      "R(a1, b1). R(a2, b2). R(a3, b3). R(a4, b4). R(a5, b5). "
+      "R(a6, b6).\n"
+      "R(x, y) -> S(y, z).";
+  constexpr std::uint32_t kNullBudget = 3;
+  for (chase::ChaseVariant variant : kVariants) {
+    chase::ChaseResult reference;
+    std::string reference_sorted;
+    for (std::uint32_t num_threads : {1u, 2u, 8u}) {
+      core::SymbolTable symbols;
+      auto p = tgd::ParseProgram(&symbols, text);
+      ASSERT_TRUE(p.ok()) << p.status().ToString();
+      core::SymbolOverlay overlay(
+          symbols, core::Term::kIndexMask + 1 - kNullBudget);
+      chase::ChaseOptions copt;
+      copt.variant = variant;
+      copt.num_threads = num_threads;
+      chase::ChaseResult r =
+          chase::RunChase(&overlay, p->tgds, p->database, copt);
+      std::string label = std::string(chase::ChaseVariantName(variant)) +
+                          " threads=" + std::to_string(num_threads);
+      EXPECT_EQ(r.outcome, chase::ChaseOutcome::kResourceExhausted)
+          << label;
+      // Exactly the three in-budget nulls were interned and committed:
+      // the instance holds the six facts plus one S atom per successful
+      // binding, whatever the thread count.
+      EXPECT_EQ(overlay.num_nulls() -
+                    (core::Term::kIndexMask + 1 - kNullBudget),
+                kNullBudget)
+          << label;
+      EXPECT_EQ(r.instance.size(), 6u + kNullBudget) << label;
+      std::string sorted = r.instance.ToSortedString(overlay);
+      if (num_threads == 1) {
+        reference = std::move(r);
+        reference_sorted = std::move(sorted);
+        continue;
+      }
+      EXPECT_EQ(sorted, reference_sorted) << label;
+      EXPECT_EQ(r.stats.triggers_fired, reference.stats.triggers_fired)
+          << label;
+      EXPECT_EQ(r.stats.triggers_satisfied,
+                reference.stats.triggers_satisfied)
+          << label;
+      EXPECT_EQ(r.stats.arena_bytes, reference.stats.arena_bytes)
+          << label;
+      EXPECT_EQ(r.stats.peak_atoms, reference.stats.peak_atoms) << label;
+    }
   }
 }
 

@@ -7,15 +7,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <random>
 #include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "core/atom.h"
 #include "core/instance.h"
 #include "core/symbol_table.h"
+#include "util/thread_pool.h"
 
 namespace nuchase {
 namespace core {
@@ -100,7 +103,10 @@ TEST_P(StorageFuzz, ArenaAgreesWithNaiveReference) {
     return Atom(pred, std::move(args));
   };
 
-  Instance inst;
+  // A third of the seeds shrink the extents to 2^3 = 8 terms, so tuples
+  // hit extent-boundary padding constantly; nothing observable may
+  // change — padding is invisible to accounting, lookup and iteration.
+  Instance inst(seed % 3 == 0 ? 3u : Instance::kDefaultExtentLog2);
   ReferenceInstance ref;
   // Half the seeds exercise the delta machinery alongside.
   const bool track_delta = (seed % 2) == 0;
@@ -202,6 +208,164 @@ TEST_P(StorageFuzz, ArenaAgreesWithNaiveReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StorageFuzz,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+/// Drives InsertTupleBatch with random batches — intra-batch
+/// duplicates, arena duplicates, 0-ary tuples, early-stopped merges —
+/// and checks the callback sequence and the final state against the
+/// equivalent serial InsertTuple loop (and the naive reference). Seeds
+/// vary the worker pool (none / 3 / 8 workers, the latter far
+/// oversubscribing this container) and the extent size: the batch path
+/// must be byte-identical in every configuration.
+class BatchFuzz : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BatchFuzz, BatchInsertAgreesWithSerialLoop) {
+  const std::uint32_t seed = GetParam();
+  std::mt19937 rng(seed);
+  SymbolTable symbols;
+
+  std::vector<PredicateId> preds;
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    auto id = symbols.InternPredicate("B" + std::to_string(p), p % 4);
+    ASSERT_TRUE(id.ok());
+    preds.push_back(*id);
+  }
+  // A small term pool makes duplicates — within a batch, across
+  // batches, and across dedup shards — common rather than accidental.
+  std::vector<Term> terms_pool;
+  for (std::uint32_t c = 0; c < 9; ++c) {
+    terms_pool.push_back(*symbols.InternConstant("b" + std::to_string(c)));
+  }
+
+  std::optional<util::ThreadPool> pool;
+  if (seed % 3 == 1) pool.emplace(3);
+  if (seed % 3 == 2) pool.emplace(8);
+  const std::uint32_t extent_log2 =
+      seed % 2 == 0 ? 3u : Instance::kDefaultExtentLog2;
+  Instance batched(extent_log2);
+  Instance serial(extent_log2);
+  ReferenceInstance ref;
+  batched.EnableDeltaTracking();
+  serial.EnableDeltaTracking();
+
+  using Event = std::tuple<std::size_t, AtomIndex, bool>;
+  for (std::uint32_t round = 0; round < 48; ++round) {
+    std::vector<Term> buffer;
+    std::vector<BatchTuple> tuples;
+    const std::uint32_t count = rng() % 24;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (!tuples.empty() && rng() % 4 == 0) {
+        // Intra-batch duplicate: repeat an earlier tuple verbatim (at a
+        // fresh buffer position, so it dedups by value, not by offset).
+        const BatchTuple prev = tuples[rng() % tuples.size()];
+        BatchTuple dup = prev;
+        dup.begin = buffer.size();
+        for (std::uint32_t a = 0; a < prev.arity; ++a) {
+          buffer.push_back(buffer[prev.begin + a]);
+        }
+        tuples.push_back(dup);
+        continue;
+      }
+      PredicateId pred = preds[rng() % preds.size()];
+      BatchTuple t;
+      t.pred = pred;
+      t.begin = buffer.size();
+      t.arity = symbols.arity(pred);
+      for (std::uint32_t a = 0; a < t.arity; ++a) {
+        buffer.push_back(terms_pool[rng() % terms_pool.size()]);
+      }
+      tuples.push_back(t);
+    }
+
+    // Some rounds veto the merge midway: the scrubbed tail must behave
+    // as if those tuples were never offered (later batches re-insert
+    // them fresh).
+    const std::size_t stop_after =
+        (rng() % 5 == 0 && !tuples.empty()) ? rng() % tuples.size() + 1
+                                            : tuples.size() + 1;
+
+    std::vector<Event> batch_events;
+    std::size_t merged = batched.InsertTupleBatch(
+        buffer.data(), tuples, pool.has_value() ? &*pool : nullptr,
+        [&](std::size_t pos, AtomIndex idx, bool fresh) {
+          batch_events.emplace_back(pos, idx, fresh);
+          return batch_events.size() < stop_after;
+        });
+
+    std::vector<Event> serial_events;
+    for (std::size_t i = 0;
+         i < tuples.size() && serial_events.size() < stop_after; ++i) {
+      const BatchTuple& t = tuples[i];
+      TermSpan span(buffer.data() + t.begin, t.arity);
+      auto [idx, fresh] = serial.InsertTuple(t.pred, span);
+      serial_events.emplace_back(i, idx, fresh);
+      ref.Insert(Atom(t.pred, span.ToVector()));
+    }
+
+    EXPECT_EQ(merged, batch_events.size());
+    EXPECT_EQ(batch_events, serial_events) << "round " << round;
+    if (rng() % 4 == 0) {
+      EXPECT_EQ(batched.AdvanceDelta(), serial.AdvanceDelta());
+    }
+  }
+
+  // Full structural comparison: directory, dedup, accounting, domain
+  // and rendering all agree with the serial loop and the reference.
+  ASSERT_EQ(batched.size(), serial.size());
+  EXPECT_EQ(batched.arena_terms(), serial.arena_terms());
+  EXPECT_EQ(batched.arena_bytes(), serial.arena_bytes());
+  for (AtomIndex i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched.atom(i).ToAtom(), serial.atom(i).ToAtom());
+    AtomIndex found = 0;
+    ASSERT_TRUE(batched.Find(serial.atom(i).ToAtom(), &found));
+    EXPECT_EQ(found, i);
+  }
+  EXPECT_EQ(batched.ActiveDomain(), serial.ActiveDomain());
+  EXPECT_EQ(batched.ToSortedString(symbols), serial.ToSortedString(symbols));
+  EXPECT_EQ(batched.ToSortedString(symbols), ref.ToSortedString(symbols));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u, 11u, 12u));
+
+/// Deterministic extent-boundary coverage: with 4-term extents an
+/// arity-3 tuple cannot use a 1-term tail, so the second insert starts
+/// a fresh extent. The padding must be invisible to accounting, the
+/// first tuple's storage must not move, and 0-ary tuples (which store
+/// no terms at all) must dedup like any other atom.
+TEST(StorageExtents, BoundaryPaddingIsInvisible) {
+  SymbolTable symbols;
+  PredicateId r = *symbols.InternPredicate("R", 3);
+  PredicateId z = *symbols.InternPredicate("Z", 0);
+  Term a = *symbols.InternConstant("a");
+  Term b = *symbols.InternConstant("b");
+  Term c = *symbols.InternConstant("c");
+
+  Instance inst(/*extent_log2=*/2);
+  std::vector<Term> t0{a, b, c};
+  std::vector<Term> t1{b, c, a};
+  auto [i0, f0] = inst.InsertTuple(r, TermSpan(t0));
+  EXPECT_TRUE(f0);
+  const Term* first = inst.TupleData(i0);
+  auto [i1, f1] = inst.InsertTuple(r, TermSpan(t1));
+  EXPECT_TRUE(f1);
+  EXPECT_EQ(inst.arena_terms(), 6u);
+  EXPECT_EQ(inst.arena_bytes(), 6 * sizeof(Term));
+  EXPECT_EQ(inst.TupleData(i0), first);
+
+  auto [zi, zf] = inst.InsertTuple(z, TermSpan());
+  EXPECT_TRUE(zf);
+  auto dup = inst.InsertTuple(z, TermSpan());
+  EXPECT_EQ(dup.first, zi);
+  EXPECT_FALSE(dup.second);
+  EXPECT_EQ(inst.arena_terms(), 6u);
+
+  AtomIndex found = 0;
+  ASSERT_TRUE(inst.FindTuple(r, TermSpan(t1), &found));
+  EXPECT_EQ(found, i1);
+  EXPECT_EQ(inst.atom(i1).arg(2), a);
+  EXPECT_EQ(inst.atom(zi).arity(), 0u);
+}
 
 }  // namespace
 }  // namespace core

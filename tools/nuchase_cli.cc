@@ -14,7 +14,11 @@
 // parsed/analyzed per invocation and every command runs through an
 // api::Session. Only the rewrite/explain commands reach below the
 // facade, against a session-private copy of the program's symbol table.
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -70,6 +74,31 @@ int Usage(const char* argv0) {
   return 2;
 }
 
+/// Strict parse of a numeric flag value: the whole string must be a
+/// base-10 unsigned integer no larger than `max`. Anything else —
+/// empty value, sign, whitespace, trailing garbage, overflow — errors
+/// out loudly. (strtoull with a discarded end pointer would instead
+/// read "--max-rounds=abc" as 0 and silently run with a zeroed budget.)
+bool ParseCount(const char* flag, const char* value,
+                unsigned long long max, unsigned long long* out) {
+  if (!std::isdigit(static_cast<unsigned char>(*value))) {
+    std::fprintf(stderr, "%s expects an unsigned integer, got '%s'\n",
+                 flag, value);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(value, &end, 10);
+  if (*end != '\0' || errno == ERANGE || n > max) {
+    std::fprintf(stderr,
+                 "%s expects an integer in [0, %llu], got '%s'\n", flag,
+                 max, value);
+    return false;
+  }
+  *out = n;
+  return true;
+}
+
 struct CliOptions {
   std::string command;
   std::string file;
@@ -110,28 +139,39 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
         return false;
       }
     } else if (arg.rfind("--max-atoms=", 0) == 0) {
-      out->session.max_atoms =
-          std::strtoull(arg.c_str() + 12, nullptr, 10);
+      unsigned long long n = 0;
+      if (!ParseCount("--max-atoms", arg.c_str() + 12,
+                      0xffffffffffffffffull, &n)) {
+        return false;
+      }
+      out->session.max_atoms = n;
     } else if (arg.rfind("--max-depth=", 0) == 0) {
-      out->session.max_depth = static_cast<std::uint32_t>(
-          std::strtoul(arg.c_str() + 12, nullptr, 10));
+      unsigned long long n = 0;
+      if (!ParseCount("--max-depth", arg.c_str() + 12, 0xffffffffull,
+                      &n)) {
+        return false;
+      }
+      out->session.max_depth = static_cast<std::uint32_t>(n);
     } else if (arg.rfind("--max-rounds=", 0) == 0) {
-      out->session.max_rounds =
-          std::strtoull(arg.c_str() + 13, nullptr, 10);
+      unsigned long long n = 0;
+      if (!ParseCount("--max-rounds", arg.c_str() + 13,
+                      0xffffffffffffffffull, &n)) {
+        return false;
+      }
+      out->session.max_rounds = n;
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
-      out->session.deadline_ms =
-          std::strtoull(arg.c_str() + 14, nullptr, 10);
+      unsigned long long n = 0;
+      if (!ParseCount("--deadline-ms", arg.c_str() + 14,
+                      0xffffffffffffffffull, &n)) {
+        return false;
+      }
+      out->session.deadline_ms = n;
     } else if (arg.rfind("--threads=", 0) == 0) {
-      // Strict parse: 0 is the meaningful "all hardware threads"
-      // setting here, so garbage must error rather than fall through
-      // to the most aggressive value.
-      const char* value = arg.c_str() + 10;
-      char* end = nullptr;
-      unsigned long n = std::strtoul(value, &end, 10);
-      if (*value == '\0' || end == nullptr || *end != '\0' || n > 256) {
-        std::fprintf(stderr,
-                     "--threads expects an integer in [0, 256], got "
-                     "'%s'\n", value);
+      // 0 is the meaningful "all hardware threads" setting here, so
+      // garbage must error rather than fall through to the most
+      // aggressive value.
+      unsigned long long n = 0;
+      if (!ParseCount("--threads", arg.c_str() + 10, 256, &n)) {
         return false;
       }
       out->session.num_threads = static_cast<std::uint32_t>(n);
