@@ -1,0 +1,147 @@
+// P7 — reliance-driven cross-rule scheduling: wall-clock and engagement
+// telemetry for the collect-group scheduler on independent recursive
+// rule families. The workload is F disjoint copies of a layered
+// reachability family (per family f: layer graph C_f plus the recursive
+// rule C_f(x,y), M_f(x) -> M_f(y)); no rule's head feeds another rule's
+// body, so the whole Σ is one collect group and every multi-seed round
+// lets the scheduler run all F rules' collects on the pool at once —
+// rule-at-a-time parallelism would shard each family's W seeds alone.
+// Every cell materializes the byte-identical instance with identical
+// deterministic counters (join_probes, arena_bytes); only seconds and
+// the engagement columns differ. `reliance_groups` (a pure function of
+// Σ: 1 with the scheduler on, 0 ablated) and `cross_rule_rounds` are
+// the clock-free proofs tools/check_bench_regression gates on: a
+// reliances-on threads>=2 row with cross_rule_rounds=0 means the
+// scheduler silently degraded to rule-at-a-time collects, which
+// byte-identity alone can never reveal.
+#include <string>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "tgd/parser.h"
+
+namespace nuchase {
+namespace {
+
+/// F disjoint layered families: nodes nf_<l>_<i>, complete bipartite
+/// C_f edges between consecutive layers, the full first layer marked.
+std::string MakeFamilies(int families, int layers, int width) {
+  std::string text;
+  for (int f = 0; f < families; ++f) {
+    std::string cf = "C" + std::to_string(f);
+    std::string mf = "M" + std::to_string(f);
+    for (int l = 0; l + 1 < layers; ++l) {
+      for (int i = 0; i < width; ++i) {
+        for (int j = 0; j < width; ++j) {
+          text += cf + "(n" + std::to_string(f) + "_" +
+                  std::to_string(l) + "_" + std::to_string(i) + ", n" +
+                  std::to_string(f) + "_" + std::to_string(l + 1) + "_" +
+                  std::to_string(j) + ").\n";
+        }
+      }
+    }
+    for (int i = 0; i < width; ++i) {
+      text += mf + "(n" + std::to_string(f) + "_0_" + std::to_string(i) +
+              ").\n";
+    }
+    text += cf + "(x, y), " + mf + "(x) -> " + mf + "(y).\n";
+  }
+  return text;
+}
+
+struct Measurement {
+  double seconds = 0;
+  std::string sorted;
+  chase::ChaseStats stats;
+  std::uint64_t atoms = 0;
+};
+
+Measurement RunCell(const std::string& text, bool use_reliances,
+                    std::uint32_t threads) {
+  core::SymbolTable symbols;
+  auto p = tgd::ParseProgram(&symbols, text);
+  if (!p.ok()) {
+    std::fprintf(stderr, "bench_rule_groups: %s\n",
+                 p.status().ToString().c_str());
+    std::exit(1);
+  }
+  chase::ChaseOptions options;
+  options.use_reliances = use_reliances;
+  options.num_threads = threads;
+  bench::Stopwatch timer;
+  chase::ChaseResult r =
+      chase::RunChase(&symbols, p->tgds, p->database, options);
+  Measurement m;
+  m.seconds = timer.Seconds();
+  m.sorted = r.instance.ToSortedString(symbols);
+  m.stats = r.stats;
+  m.atoms = r.instance.size();
+  return m;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "P7 bench_rule_groups (cross-rule collect scheduling)",
+      "reliance collect groups let one round's trigger search span "
+      "independent rules on the worker pool while the instance and "
+      "every deterministic counter stay byte-identical to the "
+      "rule-at-a-time schedule");
+
+  util::Table table(
+      "rule groups",
+      {"workload", "reliances", "threads", "cores", "chase(s)",
+       "speedup", "join_probes", "atoms", "arena_bytes",
+       "reliance_groups", "cross_rule_rounds", "same result"});
+  const unsigned cores = std::thread::hardware_concurrency();
+  const struct {
+    const char* name;
+    int families, layers, width;
+  } workloads[] = {
+      // Wide rounds: every round carries families x width M-seeds, the
+      // shape where spanning rules beats sharding one rule's seeds.
+      {"independent-families-wide", 4, 48, 12},
+      // Narrow rounds: one seed per family per round, so rule-at-a-time
+      // sharding has literally nothing to split — only the cross-rule
+      // schedule keeps more than one worker busy.
+      {"independent-families-narrow", 6, 256, 1},
+  };
+  for (const auto& w : workloads) {
+    const std::string text = MakeFamilies(w.families, w.layers, w.width);
+    Measurement reference;
+    const struct {
+      bool use_reliances;
+      std::uint32_t threads;
+    } cells[] = {{false, 1}, {false, 4}, {true, 1}, {true, 2}, {true, 4}};
+    for (const auto& cell : cells) {
+      Measurement m = RunCell(text, cell.use_reliances, cell.threads);
+      if (!cell.use_reliances && cell.threads == 1) reference = m;
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2f",
+                    m.seconds > 0 ? reference.seconds / m.seconds : 0.0);
+      table.AddRow(
+          {w.name, cell.use_reliances ? "on" : "off",
+           std::to_string(cell.threads), std::to_string(cores),
+           bench::FormatSeconds(m.seconds), speedup,
+           std::to_string(m.stats.join_probes), std::to_string(m.atoms),
+           std::to_string(m.stats.arena_bytes),
+           std::to_string(m.stats.reliance_groups),
+           std::to_string(m.stats.cross_rule_parallel_rounds),
+           m.sorted == reference.sorted &&
+                   m.stats.join_probes == reference.stats.join_probes &&
+                   m.stats.delta_atoms_scanned ==
+                       reference.stats.delta_atoms_scanned
+               ? "yes"
+               : "NO"});
+    }
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace nuchase
+
+int main() {
+  nuchase::Run();
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "chase/chase.h"
 #include "core/database.h"
 #include "core/symbol_table.h"
+#include "graph/reliance.h"
 #include "tgd/classify.h"
 #include "tgd/tgd.h"
 #include "util/status.h"
@@ -63,6 +64,11 @@ class Program {
   /// all sessions).
   const chase::JoinPlanSet& join_plans() const { return a_->plans; }
 
+  /// The reliance graph over Σ (computed at parse; shared by all
+  /// sessions): positive and restraint reliances plus the ordered
+  /// collect-group partition the chase schedules rounds by.
+  const graph::RelianceGraph& reliances() const { return *a_->reliances; }
+
   /// d_C(Σ) (Section 5); +inf when Σ is not guarded.
   double depth_bound() const { return a_->depth_bound; }
   /// f_C(Σ), so |chase(D,Σ)| ≤ |D|·f_C(Σ); +inf when unusable.
@@ -85,6 +91,7 @@ class Program {
     core::Database database;
     tgd::TgdClass tgd_class = tgd::TgdClass::kGeneral;
     chase::JoinPlanSet plans;
+    std::unique_ptr<const graph::RelianceGraph> reliances;
     double depth_bound = 0;
     double size_factor = 0;
   };

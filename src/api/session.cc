@@ -22,6 +22,9 @@ chase::ChaseOptions Session::MakeChaseOptions() const {
   copt.cancel = options_.cancel;
   copt.observer = options_.observer;
   copt.plans = &program_.join_plans();
+  copt.use_reliances = options_.use_reliances;
+  copt.restraint_order = options_.restraint_order;
+  copt.reliances = &program_.reliances();
   return copt;
 }
 
@@ -100,6 +103,8 @@ util::StatusOr<DecideResult> Session::Decide(DecideMethod method) const {
       aopt.cancel = options_.cancel;
       aopt.observer = options_.observer;
       aopt.plans = &program_.join_plans();
+      aopt.use_reliances = options_.use_reliances;
+      aopt.reliances = &program_.reliances();
       auto report = termination::Advise(&scratch, program_.tgds(),
                                         program_.database(), aopt);
       if (!report.ok()) return report.status();
@@ -126,6 +131,8 @@ util::StatusOr<AdviseResult> Session::Advise() const {
   aopt.cancel = options_.cancel;
   aopt.observer = options_.observer;
   aopt.plans = &program_.join_plans();
+  aopt.use_reliances = options_.use_reliances;
+  aopt.reliances = &program_.reliances();
 
   auto report = termination::Advise(&out.symbols_, program_.tgds(),
                                     program_.database(), aopt);

@@ -38,6 +38,19 @@ struct SessionOptions {
   /// Engine ablation switches (results identical; cost differs).
   bool use_delta = true;
   bool use_position_index = true;
+  /// Reliance-based cross-rule round scheduling (results identical; the
+  /// switch only changes which rules may share a parallel collect phase
+  /// — see chase::ChaseOptions::use_reliances). Forwarded, with the
+  /// program's parse-time reliance graph, to every chase the session
+  /// runs.
+  bool use_reliances = true;
+  /// Restraint-guided within-group firing order for the restricted
+  /// chase. Opt-in and NOT identity-preserving: the result is still a
+  /// deterministic, thread-invariant restricted-chase result, but a
+  /// different (often faster-terminating) one than Σ-order. Ignored
+  /// unless use_reliances is on and the variant is kRestricted; see
+  /// chase::ChaseOptions::restraint_order.
+  bool restraint_order = false;
   /// Worker count for the within-round parallel trigger engine,
   /// forwarded to every chase this session runs (Chase(), Decide()'s
   /// bounded-chase fallback, Advise()'s materialization). 1 = the
@@ -85,6 +98,14 @@ struct SessionOptions {
   }
   SessionOptions& set_use_position_index(bool on) {
     use_position_index = on;
+    return *this;
+  }
+  SessionOptions& set_use_reliances(bool on) {
+    use_reliances = on;
+    return *this;
+  }
+  SessionOptions& set_restraint_order(bool on) {
+    restraint_order = on;
     return *this;
   }
   SessionOptions& set_num_threads(std::uint32_t n) {

@@ -12,6 +12,9 @@
 #include "tgd/tgd.h"
 
 namespace nuchase {
+namespace graph {
+class RelianceGraph;
+}  // namespace graph
 namespace chase {
 
 /// Which chase procedure to run. The paper studies the semi-oblivious
@@ -113,6 +116,32 @@ struct ChaseOptions {
   /// been computed from the same TgdSet (one entry per TGD, same order);
   /// when null the run plans its own. Not owned; must outlive the run.
   const JoinPlanSet* plans = nullptr;
+  /// Cross-rule scheduling switch. When true (default) the round loop
+  /// walks Σ as the reliance graph's ordered collect-group partition
+  /// instead of rule by rule: every rule in a group collects against the
+  /// group-start instance — concurrently, on the worker pool, when the
+  /// parallel collect engine is engaged — and the groups' guarantee (no
+  /// forward Feeds edge inside a group; see graph::RelianceGraph) makes
+  /// that indistinguishable from the sequential interleaving, instance
+  /// bytes and every deterministic ChaseStats counter included. An
+  /// ablation switch like use_delta: results identical, cost differs.
+  bool use_reliances = true;
+  /// Restricted variant only, and NOT identity-preserving: apply each
+  /// collect group's triggers in the reliance graph's restraint order
+  /// (restrainers first) instead of Σ-order, so heads that satisfy
+  /// sibling rules' heads land first and those siblings' triggers are
+  /// skipped as inactive. Changes which restricted chase is computed —
+  /// deliberately: on order-sensitive programs it terminates in fewer
+  /// rounds (or terminates where Σ-order diverges). The chosen order is
+  /// still deterministic and thread-count-invariant. Requires
+  /// use_reliances; ignored by the other two variants, whose result
+  /// does not depend on firing order.
+  bool restraint_order = false;
+  /// Optional precomputed reliance graph for Σ (api::Program computes
+  /// one at parse time). Must have been built from the same TgdSet;
+  /// when null, a run that needs one (use_reliances) builds its own.
+  /// Not owned; must outlive the run.
+  const graph::RelianceGraph* reliances = nullptr;
   /// Worker count for the within-round parallel trigger engine: each
   /// round's delta seeds are sharded across this many workers (a
   /// util::ThreadPool, the calling thread included), every worker runs
@@ -158,9 +187,10 @@ enum class ChaseOutcome {
   kDepthLimit,  ///< A term of depth > max_depth appeared.
   kRoundLimit,  ///< Round budget exhausted.
   kCancelled,   ///< CancelToken fired or the deadline budget elapsed.
-  /// The symbol space is exhausted: the run needed more labelled nulls
-  /// than Term can index (2^30 per scope). api::Session surfaces this as
-  /// a kResourceExhausted Status.
+  /// A hard id space is exhausted: the run needed more labelled nulls
+  /// than Term can index (2^30 per scope), or |Σ| exceeds the
+  /// tgd::kMaxRules rule-index cap. api::Session surfaces this as a
+  /// kResourceExhausted Status.
   kResourceExhausted,
 };
 
@@ -212,6 +242,21 @@ struct ChaseStats {
   /// purpose: tools/check_bench_regression gates it to catch a parallel
   /// apply path silently falling back to serial.
   std::uint64_t parallel_apply_batches = 0;
+  /// Number of collect groups in the reliance schedule the run walked
+  /// (see ChaseOptions::use_reliances): |Σ| when every rule is its own
+  /// group, smaller when independent rules share one, 0 when reliance
+  /// scheduling is off. A property of Σ alone — identical at every
+  /// thread count and for every variant/engine ablation — which is why
+  /// the CLI may print it next to the byte-identical stats.
+  std::uint64_t reliance_groups = 0;
+  /// Rounds in which at least one multi-rule collect group's seed tasks
+  /// ran pooled across rules. Engine telemetry with the same status as
+  /// parallel_rounds — outside the byte-identity contract, 0 for
+  /// sequential runs and for schedules whose groups are all singletons —
+  /// and the same purpose: tools/check_bench_regression gates it so a
+  /// cross-rule path silently degrading to per-rule collect is caught
+  /// without a clock.
+  std::uint64_t cross_rule_parallel_rounds = 0;
 };
 
 /// The result of a chase run: the constructed instance (equal to

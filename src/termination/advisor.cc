@@ -27,6 +27,8 @@ util::StatusOr<AdvisorReport> Advise(core::SymbolTable* symbols,
     engine.cancel = options.cancel;
     engine.observer = options.observer;
     engine.plans = options.plans;
+    engine.use_reliances = options.use_reliances;
+    engine.reliances = options.reliances;
     NaiveDecision naive =
         DecideByChase(symbols, tgds, db, options.max_atoms, engine);
     report.decision = naive.decision;
@@ -63,6 +65,8 @@ util::StatusOr<AdvisorReport> Advise(core::SymbolTable* symbols,
     chase_options.cancel = options.cancel;
     chase_options.observer = options.observer;
     chase_options.plans = options.plans;
+    chase_options.use_reliances = options.use_reliances;
+    chase_options.reliances = options.reliances;
     chase::ChaseResult result =
         chase::RunChase(symbols, tgds, db, chase_options);
     if (result.outcome == chase::ChaseOutcome::kCancelled) {

@@ -57,6 +57,13 @@ struct AdvisorOptions {
   chase::ChaseObserver* observer = nullptr;
   /// Optional precomputed join plans for Σ (chase::PlanJoins).
   const chase::JoinPlanSet* plans = nullptr;
+  /// Reliance-based cross-rule round scheduling, forwarded to every
+  /// chase the advisor runs (results identical either way; see
+  /// chase::ChaseOptions::use_reliances).
+  bool use_reliances = true;
+  /// Optional precomputed reliance graph for Σ (ignored by chases over
+  /// rewritten rule sets, which build their own).
+  const graph::RelianceGraph* reliances = nullptr;
 };
 
 /// Classifies Σ, picks the worst-case-optimal syntactic decider for its

@@ -45,6 +45,8 @@ NaiveDecision DecideByChase(core::SymbolTable* symbols,
   options.cancel = engine.cancel;
   options.observer = engine.observer;
   options.plans = engine.plans;
+  options.use_reliances = engine.use_reliances;
+  options.reliances = engine.reliances;
   options.variant = chase::ChaseVariant::kSemiOblivious;
   // Depth budget: exceeding d_C(Σ) certifies non-termination
   // (Lemmas 6.2 / 7.4 / 8.2 via Theorems 6.4 / 7.5 / 8.3).

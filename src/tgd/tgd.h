@@ -12,6 +12,20 @@
 namespace nuchase {
 namespace tgd {
 
+/// The one rule-index type: positions into a TgdSet, node ids of the
+/// graph::RelianceGraph, and the tgd_index the chase engine packs into
+/// its 32-bit trigger dedup keys are all this. Loops over Σ compare a
+/// RuleIndex against a RuleIndex (never a raw size_t), which is what
+/// kMaxRules exists to license: a TgdSet past the cap is rejected up
+/// front (api::Program with InvalidArgument at analysis, chase::RunChase
+/// with kResourceExhausted), so every in-engine narrowing cast is exact.
+using RuleIndex = std::uint32_t;
+
+/// Largest admissible |Σ|. Far above any real program (the guarded
+/// linearization budget tops out at 100k rules) while keeping RuleIndex
+/// arithmetic trivially overflow-free.
+inline constexpr std::size_t kMaxRules = std::size_t{1} << 18;
+
 /// A tuple-generating dependency (TGD, Section 2):
 ///   φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)
 /// Body and head are non-empty conjunctions of constant-free atoms. The

@@ -1,0 +1,38 @@
+#ifndef NUCHASE_UTIL_PARSE_H_
+#define NUCHASE_UTIL_PARSE_H_
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace nuchase {
+namespace util {
+
+/// Strict parse of a base-10 unsigned integer: the whole string must be
+/// digits and the value must be at most `max`. Anything else — empty
+/// string, leading whitespace or sign, trailing garbage, overflow —
+/// fails. The digit-first check rejects the whitespace/sign skipping
+/// strtoull performs on its own, and the `errno = 0` reset makes the
+/// ERANGE test immune to a stale value left by an earlier call (bare
+/// strtoul callers get both wrong: " 4" parses and a prior ERANGE leaks
+/// into this parse). One definition, shared by every numeric surface —
+/// CLI flags and environment variables alike — so "what counts as a
+/// number" cannot drift between them.
+inline bool ParseCount(const char* value, unsigned long long max,
+                       unsigned long long* out) {
+  if (value == nullptr ||
+      !std::isdigit(static_cast<unsigned char>(*value))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(value, &end, 10);
+  if (*end != '\0' || errno == ERANGE || n > max) return false;
+  *out = n;
+  return true;
+}
+
+}  // namespace util
+}  // namespace nuchase
+
+#endif  // NUCHASE_UTIL_PARSE_H_

@@ -138,6 +138,97 @@ endforeach()
 run_golden(witness_race.tgd witness_race_chase.txt 0
     chase --variant=restricted --print --threads=3)
 
+# Restraint-guided firing order (restricted variant): plain Σ-order
+# diverges on the committed order-sensitivity program (round-limit
+# prefix pinned as a golden), --restraint-order terminates — in fewer
+# rounds, with a smaller instance — and stays byte-identical across
+# thread counts like every other schedule.
+run_golden(restraint_order.tgd restraint_order_sigma.txt 1
+    chase --variant=restricted --max-rounds=6)
+run_golden(restraint_order.tgd restraint_order_guided.txt 0
+    chase --variant=restricted --restraint-order --print)
+run_golden(restraint_order.tgd restraint_order_guided.txt 0
+    chase --variant=restricted --restraint-order --print --threads=2)
+
+# Reliance-scheduling purity: --no-reliances must reproduce the chase
+# byte-for-byte — instance and every stats line — except the schedule
+# line, which reports the ablation instead of the group count.
+function(strip_schedule_line text out_var)
+  string(REGEX REPLACE "schedule:[^\n]*\n" "" text "${text}")
+  set(${out_var} "${text}" PARENT_SCOPE)
+endfunction()
+
+# check_reliance_purity(<program> <arg>...): run the chase with and
+# without reliance scheduling and demand identical output modulo the
+# schedule line.
+function(check_reliance_purity prog)
+  run_cli(rel_on 0 chase ${ARGN} --print
+      "${REPO_DIR}/examples/programs/${prog}.tgd")
+  run_cli(rel_off 0 chase ${ARGN} --print --no-reliances
+      "${REPO_DIR}/examples/programs/${prog}.tgd")
+  expect_line("${rel_off}" "schedule:   reliances off"
+      "${prog} --no-reliances")
+  strip_schedule_line("${rel_on}" rel_on)
+  strip_schedule_line("${rel_off}" rel_off)
+  if(NOT rel_on STREQUAL rel_off)
+    message(FATAL_ERROR
+        "${prog}: reliance scheduling changed the result.\n"
+        "--- reliances on ---\n${rel_on}\n"
+        "--- reliances off ---\n${rel_off}")
+  endif()
+endfunction()
+
+foreach(prog quickstart data_exchange datalog_tc)
+  check_reliance_purity(${prog})
+endforeach()
+check_reliance_purity(witness_race --variant=restricted)
+check_reliance_purity(witness_race --variant=restricted --threads=3)
+
+# NUCHASE_THREADS hygiene: a malformed value (including the
+# whitespace-prefixed spelling bare strtoul used to accept) must warn
+# once on stderr and fall back to sequential — stdout stays golden.
+foreach(bad_threads "garbage" " 4" "+4" "0x8" "257")
+  execute_process(
+      COMMAND ${CMAKE_COMMAND} -E env "NUCHASE_THREADS=${bad_threads}"
+          "${NUCHASE_CLI}" chase --print
+          "${REPO_DIR}/examples/programs/quickstart.tgd"
+      OUTPUT_VARIABLE stdout
+      ERROR_VARIABLE stderr
+      RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "NUCHASE_THREADS='${bad_threads}': exit ${rc}\n${stderr}")
+  endif()
+  file(READ "${REPO_DIR}/tests/golden/quickstart_chase.txt" expected)
+  if(NOT stdout STREQUAL expected)
+    message(FATAL_ERROR
+        "NUCHASE_THREADS='${bad_threads}' changed stdout:\n${stdout}")
+  endif()
+  string(FIND "${stderr}" "ignoring invalid NUCHASE_THREADS" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+        "NUCHASE_THREADS='${bad_threads}': expected a warning on "
+        "stderr, got:\n${stderr}")
+  endif()
+endforeach()
+# A well-formed value engages silently and reproduces the golden.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env "NUCHASE_THREADS=4"
+        "${NUCHASE_CLI}" chase --print
+        "${REPO_DIR}/examples/programs/quickstart.tgd"
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr
+    RESULT_VARIABLE rc)
+file(READ "${REPO_DIR}/tests/golden/quickstart_chase.txt" expected)
+if(NOT rc EQUAL 0 OR NOT stdout STREQUAL expected)
+  message(FATAL_ERROR "NUCHASE_THREADS=4: exit ${rc}\n${stdout}")
+endif()
+string(FIND "${stderr}" "NUCHASE_THREADS" pos)
+if(NOT pos EQUAL -1)
+  message(FATAL_ERROR
+      "NUCHASE_THREADS=4 must not warn, got:\n${stderr}")
+endif()
+
 # Ablation purity: the full-scan engine must materialize the identical
 # instance; only the engine/joins stat lines may differ.
 function(strip_engine_lines text out_var)

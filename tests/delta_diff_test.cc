@@ -58,7 +58,8 @@ class DeltaDiffRandomTest : public ::testing::TestWithParam<DiffParams> {
  protected:
   CellResult RunCell(chase::ChaseVariant variant, bool use_delta,
                      bool use_position_index,
-                     std::uint32_t num_threads = 1) {
+                     std::uint32_t num_threads = 1,
+                     bool use_reliances = true) {
     core::SymbolTable symbols;
     workload::RandomTgdOptions options;
     options.seed = GetParam().seed;
@@ -74,6 +75,7 @@ class DeltaDiffRandomTest : public ::testing::TestWithParam<DiffParams> {
     copt.use_delta = use_delta;
     copt.use_position_index = use_position_index;
     copt.num_threads = num_threads;
+    copt.use_reliances = use_reliances;
     CellResult cell;
     cell.result = chase::RunChase(&symbols, w.tgds, w.database, copt);
     cell.sorted = cell.result.instance.ToSortedString(symbols);
@@ -161,6 +163,67 @@ TEST_P(DeltaDiffRandomTest, ParallelThreadsAreByteIdentical) {
               cell.result.stats.triggers_satisfied >
           0) {
         EXPECT_GT(cell.result.stats.parallel_apply_batches, 0u) << label;
+      }
+    }
+  }
+}
+
+/// The reliance-driven cross-rule scheduler must be invisible in the
+/// output: reliances {on, off} × threads {1, 2, 8} all reproduce the
+/// sequential no-reliances reference — byte-identical instance and
+/// identical deterministic counters (including join_probes and
+/// delta_atoms_scanned, the two a mis-scheduled group collect would
+/// skew first) — for every variant. cross_rule_parallel_rounds is
+/// engagement telemetry: it must stay 0 whenever the scheduler is off
+/// or the run is sequential.
+TEST_P(DeltaDiffRandomTest, RelianceSchedulingIsParallelInvariant) {
+  for (chase::ChaseVariant variant : kVariants) {
+    CellResult reference =
+        RunCell(variant, /*use_delta=*/true, /*use_position_index=*/true,
+                /*num_threads=*/1, /*use_reliances=*/false);
+    for (bool use_reliances : {true, false}) {
+      for (std::uint32_t num_threads : {1u, 2u, 8u}) {
+        CellResult cell =
+            RunCell(variant, /*use_delta=*/true,
+                    /*use_position_index=*/true, num_threads,
+                    use_reliances);
+        std::string label =
+            std::string(chase::ChaseVariantName(variant)) +
+            " reliances=" + (use_reliances ? "on" : "off") +
+            " threads=" + std::to_string(num_threads);
+        EXPECT_EQ(cell.result.outcome, reference.result.outcome) << label;
+        EXPECT_EQ(cell.sorted, reference.sorted) << label;
+        EXPECT_EQ(cell.result.stats.triggers_fired,
+                  reference.result.stats.triggers_fired)
+            << label;
+        EXPECT_EQ(cell.result.stats.triggers_satisfied,
+                  reference.result.stats.triggers_satisfied)
+            << label;
+        EXPECT_EQ(cell.result.stats.join_probes,
+                  reference.result.stats.join_probes)
+            << label;
+        EXPECT_EQ(cell.result.stats.delta_atoms_scanned,
+                  reference.result.stats.delta_atoms_scanned)
+            << label;
+        EXPECT_EQ(cell.result.stats.rounds, reference.result.stats.rounds)
+            << label;
+        EXPECT_EQ(cell.result.stats.arena_bytes,
+                  reference.result.stats.arena_bytes)
+            << label;
+        EXPECT_EQ(cell.result.stats.peak_atoms,
+                  reference.result.stats.peak_atoms)
+            << label;
+        // reliance_groups is Σ metadata (never workload-dependent);
+        // cross-rule rounds require the scheduler AND a worker pool.
+        if (!use_reliances) {
+          EXPECT_EQ(cell.result.stats.reliance_groups, 0u) << label;
+        } else {
+          EXPECT_GT(cell.result.stats.reliance_groups, 0u) << label;
+        }
+        if (!use_reliances || num_threads == 1) {
+          EXPECT_EQ(cell.result.stats.cross_rule_parallel_rounds, 0u)
+              << label;
+        }
       }
     }
   }
@@ -319,6 +382,80 @@ TEST(DeltaDiffDirectedTest, ApplyOnlyParallelIsByteIdentical) {
     }
     EXPECT_EQ(reference.result.stats.parallel_rounds, 0u);
     EXPECT_EQ(reference.result.stats.parallel_apply_batches, 0u);
+  }
+}
+
+/// Independent recursive rule families (disjoint predicates, so the
+/// whole Σ is one collect group) are the shape the cross-rule scheduler
+/// exists for: a multi-threaded run must take the group-collect path in
+/// every multi-seed round (cross_rule_parallel_rounds engagement — byte
+/// identity alone cannot catch a silent fallback to rule-at-a-time),
+/// while staying byte- and counter-identical to the sequential and the
+/// reliances-off runs.
+TEST(DeltaDiffDirectedTest, IndependentFamiliesEngageCrossRuleCollect) {
+  const char* text =
+      "A(a1, a2). A(a2, a3). A(a3, a4). A(a4, a5). MA(a1).\n"
+      "B(b1, b2). B(b2, b3). B(b3, b4). B(b4, b5). MB(b1).\n"
+      "C(c1, c2). C(c2, c3). C(c3, c4). C(c4, c5). MC(c1).\n"
+      "A(x, y), MA(x) -> MA(y).\n"
+      "B(x, y), MB(x) -> MB(y).\n"
+      "C(x, y), MC(x) -> MC(y).";
+  for (chase::ChaseVariant variant : kVariants) {
+    chase::ChaseResult reference;
+    std::string reference_sorted;
+    struct Cell {
+      std::uint32_t num_threads;
+      bool use_reliances;
+    };
+    const Cell cells[] = {
+        {1, false}, {1, true}, {2, true}, {8, true}, {4, false}};
+    for (const Cell& c : cells) {
+      core::SymbolTable symbols;
+      auto p = tgd::ParseProgram(&symbols, text);
+      ASSERT_TRUE(p.ok()) << p.status().ToString();
+      chase::ChaseOptions copt;
+      copt.variant = variant;
+      copt.num_threads = c.num_threads;
+      copt.use_reliances = c.use_reliances;
+      chase::ChaseResult r =
+          chase::RunChase(&symbols, p->tgds, p->database, copt);
+      std::string label = std::string(chase::ChaseVariantName(variant)) +
+                          " threads=" + std::to_string(c.num_threads) +
+                          " reliances=" + (c.use_reliances ? "on" : "off");
+      EXPECT_EQ(r.outcome, chase::ChaseOutcome::kTerminated) << label;
+      std::string sorted = r.instance.ToSortedString(symbols);
+      if (c.num_threads == 1 && !c.use_reliances) {
+        reference = std::move(r);
+        reference_sorted = std::move(sorted);
+        continue;
+      }
+      EXPECT_EQ(sorted, reference_sorted) << label;
+      EXPECT_EQ(r.stats.triggers_fired, reference.stats.triggers_fired)
+          << label;
+      EXPECT_EQ(r.stats.triggers_satisfied,
+                reference.stats.triggers_satisfied)
+          << label;
+      EXPECT_EQ(r.stats.join_probes, reference.stats.join_probes)
+          << label;
+      EXPECT_EQ(r.stats.delta_atoms_scanned,
+                reference.stats.delta_atoms_scanned)
+          << label;
+      EXPECT_EQ(r.stats.rounds, reference.stats.rounds) << label;
+      EXPECT_EQ(r.stats.arena_bytes, reference.stats.arena_bytes)
+          << label;
+      if (c.use_reliances) {
+        // Disjoint families: one group spanning all three rules.
+        EXPECT_EQ(r.stats.reliance_groups, 1u) << label;
+        if (c.num_threads > 1) {
+          EXPECT_GT(r.stats.cross_rule_parallel_rounds, 0u) << label;
+        } else {
+          EXPECT_EQ(r.stats.cross_rule_parallel_rounds, 0u) << label;
+        }
+      } else {
+        EXPECT_EQ(r.stats.reliance_groups, 0u) << label;
+        EXPECT_EQ(r.stats.cross_rule_parallel_rounds, 0u) << label;
+      }
+    }
   }
 }
 

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cerrno>
+
 #include "util/hash.h"
+#include "util/parse.h"
 #include "util/status.h"
 #include "util/table.h"
 
@@ -90,6 +93,50 @@ TEST(TableTest, FormatCountSmallAndHuge) {
   EXPECT_EQ(FormatCount(42), "42");
   EXPECT_EQ(FormatCount(1000000), "1000000");
   EXPECT_EQ(FormatCount(1e12).substr(0, 1), "~");
+}
+
+TEST(ParseCountTest, AcceptsPlainDigitStringsUpToMax) {
+  unsigned long long v = 99;
+  EXPECT_TRUE(ParseCount("0", 10, &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseCount("42", 100, &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(ParseCount("100", 100, &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_TRUE(ParseCount("18446744073709551615",
+                         ~0ull, &v));
+  EXPECT_EQ(v, ~0ull);
+}
+
+TEST(ParseCountTest, RejectsEverySpellingStrtoulAccepts) {
+  // The whole point of the strict parser: every skip strtoull performs
+  // on its own (whitespace, signs) and every suffix it tolerates is an
+  // error here, as is a value past max or past unsigned long long.
+  unsigned long long v = 99;
+  EXPECT_FALSE(ParseCount(nullptr, 10, &v));
+  EXPECT_FALSE(ParseCount("", 10, &v));
+  EXPECT_FALSE(ParseCount(" 4", 10, &v));
+  EXPECT_FALSE(ParseCount("\t4", 10, &v));
+  EXPECT_FALSE(ParseCount("+4", 10, &v));
+  EXPECT_FALSE(ParseCount("-4", 10, &v));
+  EXPECT_FALSE(ParseCount("4 ", 10, &v));
+  EXPECT_FALSE(ParseCount("4x", 10, &v));
+  EXPECT_FALSE(ParseCount("0x8", 10, &v));
+  EXPECT_FALSE(ParseCount("11", 10, &v));
+  EXPECT_FALSE(ParseCount("18446744073709551616", ~0ull, &v));
+  // Failure never writes through the out pointer.
+  EXPECT_EQ(v, 99u);
+}
+
+TEST(ParseCountTest, ResetsErrnoBeforeParsing) {
+  // A stale ERANGE from an earlier call must not poison a valid parse —
+  // the bug bare strtoul callers hit when they test errno without
+  // resetting it.
+  unsigned long long v = 0;
+  ASSERT_FALSE(ParseCount("18446744073709551616", ~0ull, &v));
+  // errno is now ERANGE; the next parse must still succeed.
+  EXPECT_TRUE(ParseCount("7", 10, &v));
+  EXPECT_EQ(v, 7u);
 }
 
 }  // namespace

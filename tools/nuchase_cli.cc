@@ -31,6 +31,7 @@
 #include "rewrite/linearize.h"
 #include "rewrite/simplify.h"
 #include "tgd/printer.h"
+#include "util/parse.h"
 
 namespace nuchase {
 namespace {
@@ -62,6 +63,15 @@ int Usage(const char* argv0) {
                "results are\n"
                "                    byte-identical for every N\n"
                "  --print           also print the materialized atoms\n"
+               "  --no-reliances    schedule every rule alone (ablation; "
+               "results\n"
+               "                    are byte-identical either way)\n"
+               "  --restraint-order fire restrained rules first within a "
+               "rule\n"
+               "                    group (restricted variant only; picks "
+               "a\n"
+               "                    different, often smaller, valid "
+               "result)\n"
                "  --no-delta        full-scan trigger search (ablation)\n"
                "  --no-position-index  join without the per-position "
                "index\n"
@@ -74,28 +84,20 @@ int Usage(const char* argv0) {
   return 2;
 }
 
-/// Strict parse of a numeric flag value: the whole string must be a
-/// base-10 unsigned integer no larger than `max`. Anything else —
-/// empty value, sign, whitespace, trailing garbage, overflow — errors
-/// out loudly. (strtoull with a discarded end pointer would instead
-/// read "--max-rounds=abc" as 0 and silently run with a zeroed budget.)
+/// Strict parse of a numeric flag value via util::ParseCount: the whole
+/// string must be a base-10 unsigned integer no larger than `max`.
+/// Anything else — empty value, sign, whitespace, trailing garbage,
+/// overflow — errors out loudly. (strtoull with a discarded end pointer
+/// would instead read "--max-rounds=abc" as 0 and silently run with a
+/// zeroed budget.)
 bool ParseCount(const char* flag, const char* value,
                 unsigned long long max, unsigned long long* out) {
-  if (!std::isdigit(static_cast<unsigned char>(*value))) {
-    std::fprintf(stderr, "%s expects an unsigned integer, got '%s'\n",
-                 flag, value);
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  unsigned long long n = std::strtoull(value, &end, 10);
-  if (*end != '\0' || errno == ERANGE || n > max) {
+  if (!util::ParseCount(value, max, out)) {
     std::fprintf(stderr,
                  "%s expects an integer in [0, %llu], got '%s'\n", flag,
                  max, value);
     return false;
   }
-  *out = n;
   return true;
 }
 
@@ -122,6 +124,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->use_ucq = true;
     } else if (arg == "--naive") {
       out->use_naive = true;
+    } else if (arg == "--no-reliances") {
+      out->session.use_reliances = false;
+    } else if (arg == "--restraint-order") {
+      out->session.restraint_order = true;
     } else if (arg == "--no-delta") {
       out->session.use_delta = false;
     } else if (arg == "--no-position-index") {
@@ -279,6 +285,17 @@ int Chase(const api::Session& session, const CliOptions& options) {
                                           : "full-scan",
               session.options().use_position_index ? "position-indexed"
                                                    : "predicate-scan");
+  // The schedule line is a pure function of Σ and the flags — never of
+  // the thread count or the delta/index ablations — so goldens stay
+  // stable across every identity-preserving knob.
+  if (session.options().use_reliances) {
+    std::printf("schedule:   reliances on, %llu rule groups%s\n",
+                static_cast<unsigned long long>(stats.reliance_groups),
+                session.options().restraint_order ? ", restraint order"
+                                                  : "");
+  } else {
+    std::printf("schedule:   reliances off\n");
+  }
   std::printf("outcome:    %s\n", chase::ChaseOutcomeName(run->outcome()));
   std::printf("atoms:      %zu (|D| = %zu)\n", run->instance().size(),
               session.program().fact_count());
