@@ -1,5 +1,6 @@
 #include "api/program.h"
 
+#include <memory>
 #include <utility>
 
 #include "termination/bounds.h"
@@ -68,7 +69,37 @@ util::StatusOr<Program> Program::Analyze(std::shared_ptr<Analysis> a) {
       termination::SizeFactor(a->tgd_class, a->tgds, a->symbols);
   a->plans = chase::PlanJoins(a->tgds);
   a->reliances = std::make_unique<const graph::RelianceGraph>(a->tgds);
+  a->diagnostics = analysis::LintProgram(a->tgds, a->database, a->symbols,
+                                         a->reliances.get());
   return Program(std::move(a));
+}
+
+const termination::LadderResult& Program::ladder() const {
+  const Analysis* a = a_.get();
+  std::call_once(a->ladder_once, [a] {
+    a->ladder = termination::RunLadder(a->symbols, a->tgds, a->database);
+  });
+  return a->ladder;
+}
+
+const util::StatusOr<termination::SyntacticDecision>& Program::syntactic()
+    const {
+  const Analysis* a = a_.get();
+  std::call_once(a->syntactic_once, [this, a] {
+    // The deciders intern rewriting symbols: hand them scratch. For
+    // general Σ the decision IS the ladder — reuse the memoized run
+    // instead of chasing the critical instance a second time.
+    core::SymbolTable scratch = a->symbols;
+    auto decision =
+        a->tgd_class == tgd::TgdClass::kGeneral
+            ? termination::DecideGeneral(&scratch, a->tgds, a->database,
+                                         {}, &ladder())
+            : termination::Decide(&scratch, a->tgds, a->database);
+    a->syntactic = std::make_unique<
+        const util::StatusOr<termination::SyntacticDecision>>(
+        std::move(decision));
+  });
+  return *a->syntactic;
 }
 
 }  // namespace api

@@ -3,12 +3,17 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
+#include "analysis/diagnostics.h"
 #include "chase/chase.h"
 #include "core/database.h"
 #include "core/symbol_table.h"
 #include "graph/reliance.h"
+#include "termination/ladder.h"
+#include "termination/syntactic_decider.h"
 #include "tgd/classify.h"
 #include "tgd/tgd.h"
 #include "util/status.h"
@@ -74,6 +79,27 @@ class Program {
   /// f_C(Σ), so |chase(D,Σ)| ≤ |D|·f_C(Σ); +inf when unusable.
   double size_factor() const { return a_->size_factor; }
 
+  /// Parse-time lint findings over (D, Σ) (analysis::LintProgram):
+  /// deterministic, catalog-ID then rule order, shared by all sessions.
+  const std::vector<analysis::Diagnostic>& diagnostics() const {
+    return a_->diagnostics;
+  }
+
+  /// The acyclicity ladder (WA → JA → MFA) over the program, run with
+  /// default budgets on first request and memoized in the frozen
+  /// analysis — every Session and every copy of this Program shares the
+  /// one run. Thread-safe; the MFA rung chases the critical instance
+  /// D_Σ, never the program's own database.
+  const termination::LadderResult& ladder() const;
+
+  /// The class-optimal syntactic ChTrm decision (SL/L/G: the paper's
+  /// exact procedures with default budgets; general: the ladder,
+  /// reusing ladder()'s memoized run), likewise computed at most once
+  /// per Program. Non-OK when the guarded pipeline exhausts its default
+  /// linearization budget; sessions with a non-default budget bypass
+  /// this cache.
+  const util::StatusOr<termination::SyntacticDecision>& syntactic() const;
+
   std::size_t rule_count() const { return a_->tgds.size(); }
   std::size_t fact_count() const { return a_->database.size(); }
 
@@ -94,6 +120,17 @@ class Program {
     std::unique_ptr<const graph::RelianceGraph> reliances;
     double depth_bound = 0;
     double size_factor = 0;
+    std::vector<analysis::Diagnostic> diagnostics;
+
+    // Memoized heavy artifacts: computed at most once per Program, on
+    // first request, under call_once — mutation through the const
+    // handle is confined to these fields and is thread-safe.
+    mutable std::once_flag ladder_once;
+    mutable termination::LadderResult ladder;
+    mutable std::once_flag syntactic_once;
+    mutable std::unique_ptr<
+        const util::StatusOr<termination::SyntacticDecision>>
+        syntactic;
   };
 
   explicit Program(std::shared_ptr<const Analysis> analysis)

@@ -61,6 +61,55 @@ util::StatusOr<ClassifyResult> Session::Classify() const {
   return out;
 }
 
+namespace {
+
+// Points the advisor at the Program's memoized analysis artifacts: the
+// ladder run for general Σ, the class decision for SL/L/G. The
+// syntactic cache holds a default-budget run, so it is bypassed when
+// the session raised or lowered max_types.
+void BorrowProgramCaches(const Program& program, std::uint64_t max_types,
+                         termination::AdvisorOptions* aopt) {
+  if (program.tgd_class() == tgd::TgdClass::kGeneral) {
+    aopt->ladder = &program.ladder();
+    return;
+  }
+  if (max_types != SessionOptions{}.max_types) return;
+  const auto& syntactic = program.syntactic();
+  if (syntactic.ok()) aopt->syntactic = &*syntactic;
+}
+
+}  // namespace
+
+util::StatusOr<AnalyzeResult> Session::Analyze() const {
+  AnalyzeResult out;
+  out.tgd_class = program_.tgd_class();
+  out.diagnostics = program_.diagnostics();
+  out.ladder = program_.ladder();
+
+  if (out.tgd_class == tgd::TgdClass::kGeneral) {
+    out.decision = out.ladder.verdict;
+    if (out.decision == termination::Decision::kTerminates) {
+      out.method = "ladder:" + out.ladder.rung;
+    }
+    return out;
+  }
+  const auto& syntactic = program_.syntactic();
+  if (!syntactic.ok()) return syntactic.status();
+  out.decision = syntactic->decision;
+  switch (out.tgd_class) {
+    case tgd::TgdClass::kSimpleLinear:
+      out.method = "weak-acyclicity";
+      break;
+    case tgd::TgdClass::kLinear:
+      out.method = "simplification+WA";
+      break;
+    default:
+      out.method = "linearization+simplification+WA";
+      break;
+  }
+  return out;
+}
+
 util::StatusOr<DecideResult> Session::Decide(DecideMethod method) const {
   DecideResult out;
   out.tgd_class = program_.tgd_class();
@@ -105,6 +154,7 @@ util::StatusOr<DecideResult> Session::Decide(DecideMethod method) const {
       aopt.plans = &program_.join_plans();
       aopt.use_reliances = options_.use_reliances;
       aopt.reliances = &program_.reliances();
+      BorrowProgramCaches(program_, options_.max_types, &aopt);
       auto report = termination::Advise(&scratch, program_.tgds(),
                                         program_.database(), aopt);
       if (!report.ok()) return report.status();
@@ -133,6 +183,7 @@ util::StatusOr<AdviseResult> Session::Advise() const {
   aopt.plans = &program_.join_plans();
   aopt.use_reliances = options_.use_reliances;
   aopt.reliances = &program_.reliances();
+  BorrowProgramCaches(program_, options_.max_types, &aopt);
 
   auto report = termination::Advise(&out.symbols_, program_.tgds(),
                                     program_.database(), aopt);

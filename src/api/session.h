@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "analysis/diagnostics.h"
 #include "api/program.h"
 #include "chase/chase.h"
 #include "chase/observer.h"
 #include "core/symbol_table.h"
 #include "termination/advisor.h"
+#include "termination/ladder.h"
 #include "termination/naive_decider.h"
 #include "util/status.h"
 
@@ -168,6 +171,26 @@ class ChaseRun {
   chase::ChaseResult result_;
 };
 
+/// The static-analysis report of Session::Analyze(): the lint findings
+/// and the acyclicity-ladder/syntactic verdict, with provenance. Fully
+/// static — the only chase involved is the MFA rung's critical-instance
+/// chase, never a chase of the program's database.
+struct AnalyzeResult {
+  tgd::TgdClass tgd_class = tgd::TgdClass::kGeneral;
+  /// Parse-time lint findings (catalog-ID then rule order).
+  std::vector<analysis::Diagnostic> diagnostics;
+  /// The memoized ladder run (meaningful witnesses for every rung).
+  termination::LadderResult ladder;
+  /// The static ChTrm verdict: exact for SL/L/G (the class deciders
+  /// never answer kUnknown), sufficient-only for general Σ (kUnknown
+  /// when no rung certifies — never kDoesNotTerminate).
+  termination::Decision decision = termination::Decision::kUnknown;
+  /// "weak-acyclicity", "simplification+WA",
+  /// "linearization+simplification+WA", or "ladder:wa" / "ladder:ja" /
+  /// "ladder:mfa"; empty when the verdict is kUnknown.
+  std::string method;
+};
+
 /// Schema- and class-level analysis of the program (no chase involved).
 struct ClassifyResult {
   tgd::TgdClass tgd_class = tgd::TgdClass::kGeneral;
@@ -199,7 +222,8 @@ struct DecideResult {
   termination::Decision decision = termination::Decision::kUnknown;
   tgd::TgdClass tgd_class = tgd::TgdClass::kGeneral;
   /// Which procedure decided ("weak-acyclicity", "simplification+WA",
-  /// "linearization+simplification+WA", "bounded-chase", "ucq").
+  /// "linearization+simplification+WA", "ladder:wa" / "ladder:ja" /
+  /// "ladder:mfa", "bounded-chase", "ucq").
   std::string method;
   /// Bounded chase only: atoms materialized and maxdepth observed.
   std::uint64_t atoms = 0;
@@ -255,6 +279,14 @@ class Session {
 
   /// Class, schema quantities and paper bounds — no chase involved.
   util::StatusOr<ClassifyResult> Classify() const;
+
+  /// Static analysis only: the program's lint diagnostics plus the
+  /// strongest purely static ChTrm verdict (class decider or ladder
+  /// rung), without ever chasing D. Both halves are memoized in the
+  /// shared Program, so repeated calls — and subsequent Decide/Advise
+  /// calls — recompute nothing. Non-OK only when the guarded pipeline
+  /// exhausts its linearization budget (ResourceExhausted).
+  util::StatusOr<AnalyzeResult> Analyze() const;
 
   /// Decides ChTrm(D, Σ). kAuto never fails on valid inputs; kUcq fails
   /// (FailedPrecondition) when Σ is not linear; budget exhaustion inside

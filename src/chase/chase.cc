@@ -892,6 +892,11 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
             ti, rule.existential(), trig.frontier_images,
             trig.frontier_images, options.max_depth, &bound_nulls,
             &result.stats.max_depth);
+        if (options.observer != nullptr && !bound_nulls.empty()) {
+          options.observer->OnNullsBound(
+              ti, bound_nulls.data(), bound_nulls.size(),
+              trig.frontier_images.data(), trig.frontier_images.size());
+        }
         if (bind != NullStore::BindResult::kOk) {
           // Depth budget breached, or null ids wrapped past Term's
           // index space: stop with a consistent prefix. The trigger
@@ -951,11 +956,19 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
       bound_nulls.clear();
       for (std::size_t t = 0; t < pending.size(); ++t) {
         const PendingTrigger& trig = pending[t];
+        const std::size_t bound_before = bound_nulls.size();
         NullStore::BindResult bind = nulls.BindTriggerNulls(
             ti, rule.existential(),
             oblivious ? trig.body_images : trig.frontier_images,
             trig.frontier_images, options.max_depth, &bound_nulls,
             &result.stats.max_depth);
+        if (options.observer != nullptr &&
+            bound_nulls.size() > bound_before) {
+          options.observer->OnNullsBound(
+              ti, bound_nulls.data() + bound_before,
+              bound_nulls.size() - bound_before,
+              trig.frontier_images.data(), trig.frontier_images.size());
+        }
         if (bind != NullStore::BindResult::kOk) {
           batch_n = t;
           stop_outcome = bind == NullStore::BindResult::kDepthLimit

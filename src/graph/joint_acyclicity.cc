@@ -1,0 +1,205 @@
+#include "graph/joint_acyclicity.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/schema.h"
+
+namespace nuchase {
+namespace graph {
+
+namespace {
+
+using core::Position;
+using core::PositionHash;
+using core::Term;
+using tgd::RuleIndex;
+using tgd::Tgd;
+
+/// Fixed-universe bitset over the dense position ids.
+class PositionSet {
+ public:
+  explicit PositionSet(std::size_t universe)
+      : words_((universe + 63) / 64, 0) {}
+
+  void Add(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  bool Contains(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  /// this ⊇ other, for others represented as sparse id lists.
+  bool ContainsAll(const std::vector<std::uint32_t>& ids) const {
+    for (std::uint32_t i : ids) {
+      if (!Contains(i)) return false;
+    }
+    return true;
+  }
+  /// this |= ids; returns true when any bit was new.
+  bool AddAll(const std::vector<std::uint32_t>& ids) {
+    bool grew = false;
+    for (std::uint32_t i : ids) {
+      if (!Contains(i)) {
+        Add(i);
+        grew = true;
+      }
+    }
+    return grew;
+  }
+  std::size_t Count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) {
+      while (w != 0) {
+        w &= w - 1;
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// Dense ids for the positions of sch(Σ), in sorted Position order so
+/// every derived artifact (move sizes, witness order) is deterministic.
+class PositionIndex {
+ public:
+  explicit PositionIndex(const tgd::TgdSet& tgds,
+                         const core::SymbolTable& symbols) {
+    std::vector<Position> all =
+        core::AllPositions(tgds.SchemaPredicates(), symbols);
+    ids_.reserve(all.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      ids_.emplace(all[i], static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::size_t size() const { return ids_.size(); }
+  std::uint32_t id(const Position& p) const { return ids_.at(p); }
+
+ private:
+  std::unordered_map<Position, std::uint32_t, PositionHash> ids_;
+};
+
+/// Sorted-unique dense ids of the positions where `var` occurs in
+/// `atoms`.
+std::vector<std::uint32_t> PositionsIn(const std::vector<core::Atom>& atoms,
+                                       Term var,
+                                       const PositionIndex& index) {
+  std::vector<std::uint32_t> out;
+  for (const core::Atom& atom : atoms) {
+    for (const Position& p : core::PositionsOfTerm(atom, var)) {
+      out.push_back(index.id(p));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+JointAcyclicityResult CheckJointAcyclicity(
+    const tgd::TgdSet& tgds, const core::SymbolTable& symbols) {
+  JointAcyclicityResult result;
+  const PositionIndex index(tgds, symbols);
+
+  // Nodes: every existential variable, in (rule, existential-order)
+  // order. Per-node Pos_H(z); per (rule, frontier var): Pos_B(x) and
+  // Pos_H(x), the currency of both the Move fixpoint and the edges.
+  std::vector<JaVariable> nodes;
+  std::vector<std::vector<std::uint32_t>> node_head_pos;
+  struct FrontierVar {
+    RuleIndex rule;
+    std::vector<std::uint32_t> body_pos;
+    std::vector<std::uint32_t> head_pos;
+  };
+  std::vector<FrontierVar> frontier_vars;
+  for (RuleIndex r = 0; r < tgds.size(); ++r) {
+    const Tgd& rule = tgds.tgd(r);
+    for (Term z : rule.existential()) {
+      nodes.push_back(JaVariable{r, z});
+      node_head_pos.push_back(PositionsIn(rule.head(), z, index));
+    }
+    for (Term x : rule.frontier()) {
+      frontier_vars.push_back(FrontierVar{
+          r, PositionsIn(rule.body(), x, index),
+          PositionsIn(rule.head(), x, index)});
+    }
+  }
+  if (nodes.empty()) return result;  // No nulls are ever minted.
+
+  // Move(z) fixpoint per node, then the dependency edges read off it.
+  std::vector<std::vector<std::uint32_t>> edges(nodes.size());
+  result.move_sizes.reserve(nodes.size());
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    PositionSet move(index.size());
+    move.AddAll(node_head_pos[n]);
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const FrontierVar& x : frontier_vars) {
+        if (move.ContainsAll(x.body_pos)) {
+          grew = move.AddAll(x.head_pos) || grew;
+        }
+      }
+    }
+    result.move_sizes.push_back(move.Count());
+    // Edge n → m for every existential of a rule whose frontier has a
+    // variable fed entirely from Move(n).
+    std::vector<bool> rule_fed(tgds.size(), false);
+    for (const FrontierVar& x : frontier_vars) {
+      if (!rule_fed[x.rule] && move.ContainsAll(x.body_pos)) {
+        rule_fed[x.rule] = true;
+      }
+    }
+    for (std::size_t m = 0; m < nodes.size(); ++m) {
+      if (rule_fed[nodes[m].rule]) {
+        edges[n].push_back(static_cast<std::uint32_t>(m));
+      }
+    }
+  }
+
+  // Iterative colored DFS in node order; the first back edge yields the
+  // witness cycle off the DFS stack.
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(nodes.size(), kWhite);
+  std::vector<std::uint32_t> stack;       // gray path
+  std::vector<std::size_t> next_edge;     // per stack entry
+  for (std::size_t root = 0; root < nodes.size(); ++root) {
+    if (color[root] != kWhite) continue;
+    stack.assign(1, static_cast<std::uint32_t>(root));
+    next_edge.assign(1, 0);
+    color[root] = kGray;
+    while (!stack.empty()) {
+      const std::uint32_t n = stack.back();
+      if (next_edge.back() == edges[n].size()) {
+        color[n] = kBlack;
+        stack.pop_back();
+        next_edge.pop_back();
+        continue;
+      }
+      const std::uint32_t m = edges[n][next_edge.back()++];
+      if (color[m] == kGray) {
+        // Cycle: the stack suffix from m's occurrence through n.
+        result.jointly_acyclic = false;
+        std::size_t start = stack.size();
+        while (start > 0 && stack[start - 1] != m) --start;
+        for (std::size_t i = start > 0 ? start - 1 : 0; i < stack.size();
+             ++i) {
+          result.cycle.push_back(nodes[stack[i]]);
+        }
+        return result;
+      }
+      if (color[m] == kWhite) {
+        color[m] = kGray;
+        stack.push_back(m);
+        next_edge.push_back(0);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace graph
+}  // namespace nuchase

@@ -19,13 +19,17 @@
 /// PODS 2022) behind three nouns:
 ///
 ///   api::Program  — immutable parse/validate/classify/join-plan artifact
-///   api::Session  — per-run options + Chase/Decide/Classify/Advise
+///                   carrying the static analysis (lint diagnostics,
+///                   memoized acyclicity ladder + class decision)
+///   api::Session  — per-run options + Chase/Decide/Classify/Analyze/
+///                   Advise
 ///   api::ChaseObserver / api::CancelToken — progress and interruption
 ///
 /// Lower-level layers (core, tgd, chase, termination, ...) remain public
 /// headers for callers that need the internals; the facade never
 /// requires threading a raw SymbolTable* through application code.
 
+#include "analysis/diagnostics.h"
 #include "api/program.h"
 #include "api/session.h"
 #include "chase/chase.h"

@@ -17,31 +17,54 @@ util::StatusOr<AdvisorReport> Advise(core::SymbolTable* symbols,
                       SizeFactor(report.tgd_class, tgds, *symbols);
 
   if (report.tgd_class == tgd::TgdClass::kGeneral) {
-    // Undecidable in general (Proposition 4.2): best effort via the
-    // bounded chase; only termination within budget is a certificate.
-    chase::ChaseOptions engine;
-    engine.use_delta = options.use_delta;
-    engine.use_position_index = options.use_position_index;
-    engine.num_threads = options.num_threads;
-    engine.deadline_ms = options.deadline_ms;
-    engine.cancel = options.cancel;
-    engine.observer = options.observer;
-    engine.plans = options.plans;
-    engine.use_reliances = options.use_reliances;
-    engine.reliances = options.reliances;
-    NaiveDecision naive =
-        DecideByChase(symbols, tgds, db, options.max_atoms, engine);
-    report.decision = naive.decision;
-    report.method = "bounded-chase";
+    // Undecidable in general (Proposition 4.2). First the acyclicity
+    // ladder (WA → JA → MFA): a certifying rung skips the bounded chase
+    // entirely — the static-analysis fast path. Only when no rung
+    // certifies does the advisor fall back to chasing D itself, where
+    // only termination within budget is a certificate.
+    LadderResult local_ladder;
+    const LadderResult* ladder = options.ladder;
+    if (ladder == nullptr) {
+      LadderOptions lopt;
+      lopt.mfa.num_threads = options.num_threads;
+      local_ladder = RunLadder(*symbols, tgds, db, lopt);
+      ladder = &local_ladder;
+    }
+    if (ladder->verdict == Decision::kTerminates) {
+      report.decision = Decision::kTerminates;
+      report.method = "ladder:" + ladder->rung;
+    } else {
+      chase::ChaseOptions engine;
+      engine.use_delta = options.use_delta;
+      engine.use_position_index = options.use_position_index;
+      engine.num_threads = options.num_threads;
+      engine.deadline_ms = options.deadline_ms;
+      engine.cancel = options.cancel;
+      engine.observer = options.observer;
+      engine.plans = options.plans;
+      engine.use_reliances = options.use_reliances;
+      engine.reliances = options.reliances;
+      NaiveDecision naive =
+          DecideByChase(symbols, tgds, db, options.max_atoms, engine);
+      report.decision = naive.decision;
+      report.method = "bounded-chase";
+    }
   } else {
-    rewrite::LinearizeOptions lin_options;
-    lin_options.max_types = options.max_types;
-    util::StatusOr<SyntacticDecision> syn =
-        report.tgd_class == tgd::TgdClass::kGuarded
-            ? DecideGuarded(symbols, tgds, db, lin_options)
-            : Decide(symbols, tgds, db);
-    if (!syn.ok()) return syn.status();
-    report.decision = syn->decision;
+    Decision decision;
+    if (options.syntactic != nullptr &&
+        options.syntactic->used_class == report.tgd_class) {
+      decision = options.syntactic->decision;
+    } else {
+      rewrite::LinearizeOptions lin_options;
+      lin_options.max_types = options.max_types;
+      util::StatusOr<SyntacticDecision> syn =
+          report.tgd_class == tgd::TgdClass::kGuarded
+              ? DecideGuarded(symbols, tgds, db, lin_options)
+              : Decide(symbols, tgds, db);
+      if (!syn.ok()) return syn.status();
+      decision = syn->decision;
+    }
+    report.decision = decision;
     switch (report.tgd_class) {
       case tgd::TgdClass::kSimpleLinear:
         report.method = "weak-acyclicity";

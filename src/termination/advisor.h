@@ -7,7 +7,9 @@
 #include "chase/chase.h"
 #include "core/database.h"
 #include "core/symbol_table.h"
+#include "termination/ladder.h"
 #include "termination/naive_decider.h"
+#include "termination/syntactic_decider.h"
 #include "tgd/classify.h"
 #include "tgd/tgd.h"
 #include "util/status.h"
@@ -23,7 +25,7 @@ struct AdvisorReport {
   Decision decision = Decision::kUnknown;
   /// Which procedure produced the decision ("weak-acyclicity",
   /// "simplification+WA", "linearization+simplification+WA",
-  /// "bounded-chase").
+  /// "ladder:wa" / "ladder:ja" / "ladder:mfa", "bounded-chase").
   std::string method;
   /// The paper's guarantee |chase(D,Σ)| ≤ |D|·f_C(Σ) (inf when unusable).
   double size_bound = 0;
@@ -64,6 +66,14 @@ struct AdvisorOptions {
   /// Optional precomputed reliance graph for Σ (ignored by chases over
   /// rewritten rule sets, which build their own).
   const graph::RelianceGraph* reliances = nullptr;
+  /// Optional precomputed analysis artifacts from a frozen
+  /// api::Program (borrowed; must outlive the call): the acyclicity-
+  /// ladder run consulted for general Σ before any bounded-chase
+  /// fallback, and the memoized class decision for SL/L/G. Either may
+  /// be null; the advisor then computes what it needs. `syntactic` is
+  /// only honoured when its used_class matches Classify(Σ).
+  const LadderResult* ladder = nullptr;
+  const SyntacticDecision* syntactic = nullptr;
 };
 
 /// Classifies Σ, picks the worst-case-optimal syntactic decider for its

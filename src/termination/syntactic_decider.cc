@@ -18,6 +18,11 @@ double Seconds(Clock::time_point start) {
 
 }  // namespace
 
+std::atomic<std::uint64_t>& DeciderInvocationsForTest() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
 util::StatusOr<SyntacticDecision> DecideSimpleLinear(
     core::SymbolTable* symbols, const tgd::TgdSet& tgds,
     const core::Database& db) {
@@ -28,6 +33,7 @@ util::StatusOr<SyntacticDecision> DecideSimpleLinear(
     }
   }
   auto start = Clock::now();
+  DeciderInvocationsForTest().fetch_add(1, std::memory_order_relaxed);
   SyntacticDecision out;
   out.used_class = tgd::TgdClass::kSimpleLinear;
   graph::WeakAcyclicityResult wa =
@@ -48,6 +54,7 @@ util::StatusOr<SyntacticDecision> DecideLinear(core::SymbolTable* symbols,
     }
   }
   auto start = Clock::now();
+  DeciderInvocationsForTest().fetch_add(1, std::memory_order_relaxed);
   rewrite::Simplifier simplifier(symbols);
   auto simple_tgds = simplifier.SimplifyTgds(tgds);
   if (!simple_tgds.ok()) return simple_tgds.status();
@@ -68,6 +75,7 @@ util::StatusOr<SyntacticDecision> DecideGuarded(
     core::SymbolTable* symbols, const tgd::TgdSet& tgds,
     const core::Database& db, const rewrite::LinearizeOptions& options) {
   auto start = Clock::now();
+  DeciderInvocationsForTest().fetch_add(1, std::memory_order_relaxed);
   auto gsimple = rewrite::GSimplify(db, tgds, symbols, options);
   if (!gsimple.ok()) return gsimple.status();
 
@@ -84,6 +92,25 @@ util::StatusOr<SyntacticDecision> DecideGuarded(
   return out;
 }
 
+util::StatusOr<SyntacticDecision> DecideGeneral(
+    core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+    const core::Database& db, const LadderOptions& options,
+    const LadderResult* precomputed) {
+  auto start = Clock::now();
+  SyntacticDecision out;
+  out.used_class = tgd::TgdClass::kGeneral;
+  LadderResult local;
+  if (precomputed == nullptr) {
+    DeciderInvocationsForTest().fetch_add(1, std::memory_order_relaxed);
+    local = RunLadder(*symbols, tgds, db, options);
+    precomputed = &local;
+  }
+  out.decision = precomputed->verdict;
+  out.ladder_rung = precomputed->rung;
+  out.seconds = Seconds(start);
+  return out;
+}
+
 util::StatusOr<SyntacticDecision> Decide(core::SymbolTable* symbols,
                                          const tgd::TgdSet& tgds,
                                          const core::Database& db) {
@@ -95,9 +122,7 @@ util::StatusOr<SyntacticDecision> Decide(core::SymbolTable* symbols,
     case tgd::TgdClass::kGuarded:
       return DecideGuarded(symbols, tgds, db);
     case tgd::TgdClass::kGeneral:
-      return util::Status::FailedPrecondition(
-          "ChTrm is undecidable for arbitrary TGDs (Proposition 4.2); "
-          "no syntactic decider applies");
+      return DecideGeneral(symbols, tgds, db);
   }
   return util::Status::Internal("unreachable");
 }

@@ -1,12 +1,14 @@
 #ifndef NUCHASE_TERMINATION_SYNTACTIC_DECIDER_H_
 #define NUCHASE_TERMINATION_SYNTACTIC_DECIDER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "core/database.h"
 #include "core/symbol_table.h"
 #include "rewrite/linearize.h"
+#include "termination/ladder.h"
 #include "termination/naive_decider.h"
 #include "tgd/classify.h"
 #include "tgd/tgd.h"
@@ -24,6 +26,10 @@ struct SyntacticDecision {
   std::uint64_t simple_tgds = 0;  ///< |simple(Σ)| or |gsimple(Σ)|.
   std::uint64_t lin_types = 0;    ///< Σ-types generated (guarded only).
   std::uint64_t lin_tgds = 0;     ///< |lin(Σ)| fragment (guarded only).
+  /// DecideGeneral only: the acyclicity-ladder rung that certified
+  /// ("wa" / "ja" / "mfa"); empty for the exact class procedures and
+  /// for kUnknown.
+  std::string ladder_rung;
   /// Wall time in seconds.
   double seconds = 0;
 };
@@ -48,12 +54,32 @@ util::StatusOr<SyntacticDecision> DecideGuarded(
     const core::Database& db,
     const rewrite::LinearizeOptions& options = {});
 
+/// ChTrm for arbitrary TGDs via the acyclicity ladder (WA → JA → MFA,
+/// termination/ladder.h): kTerminates with the certifying rung in
+/// SyntacticDecision::ladder_rung when some rung proves Σ ∈ CT_D,
+/// kUnknown otherwise — never kDoesNotTerminate, since ChTrm(TGD) is
+/// undecidable (Proposition 4.2) and every rung is merely sufficient.
+/// `precomputed` (borrowed) short-circuits to a caller-cached ladder
+/// run, the frozen-Program cache path.
+util::StatusOr<SyntacticDecision> DecideGeneral(
+    core::SymbolTable* symbols, const tgd::TgdSet& tgds,
+    const core::Database& db, const LadderOptions& options = {},
+    const LadderResult* precomputed = nullptr);
+
 /// Dispatches on Classify(Σ): SL → DecideSimpleLinear, L → DecideLinear,
-/// G → DecideGuarded. Fails (FailedPrecondition) for non-guarded sets
-/// (ChTrm(TGD) is undecidable, Proposition 4.2).
+/// G → DecideGuarded, and — since the ladder landed — general TGDs to
+/// DecideGeneral's sufficient conditions (kUnknown when no rung
+/// certifies; the exact procedures of the three classes never return
+/// kUnknown).
 util::StatusOr<SyntacticDecision> Decide(core::SymbolTable* symbols,
                                          const tgd::TgdSet& tgds,
                                          const core::Database& db);
+
+/// Test hook: count of syntactic-decision computations (the bodies of
+/// the four Decide* procedures) since process start. The facade caching
+/// test pins that repeated Session::Decide/Advise calls over one frozen
+/// Program recompute nothing.
+std::atomic<std::uint64_t>& DeciderInvocationsForTest();
 
 }  // namespace termination
 }  // namespace nuchase

@@ -29,8 +29,9 @@ util::StatusOr<core::Database> MakeCriticalDatabase(
 
 /// Uniform semi-oblivious chase termination: is Σ ∈ CT (i.e. Σ ∈ CT_D
 /// for every database D)? Decided as ChTrm(D_Σ, Σ) via the
-/// class-appropriate syntactic procedure. Fails (FailedPrecondition)
-/// for non-guarded sets, where the problem is undecidable.
+/// class-appropriate syntactic procedure — exact for SL/L/G; for
+/// non-guarded sets (undecidable, Proposition 4.2) the acyclicity
+/// ladder applies and kUnknown means "no rung certifies".
 util::StatusOr<SyntacticDecision> DecideUniform(core::SymbolTable* symbols,
                                                 const tgd::TgdSet& tgds);
 

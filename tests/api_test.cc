@@ -230,6 +230,87 @@ TEST(SessionTest, DecideRejectsDivergingPair) {
   EXPECT_EQ(d->decision, termination::Decision::kDoesNotTerminate);
 }
 
+// The committed JA showcase (examples/programs/ja_ladder.tgd): general
+// class, not WA w.r.t. D, jointly acyclic.
+constexpr const char* kJaShowcase =
+    "P(a). R(a, b).\n"
+    "P(x) -> Q(x, y).\n"
+    "Q(x, y), R(y, w) -> P(y).\n";
+
+TEST(SessionTest, AnalyzeReportsDiagnosticsAndLadder) {
+  auto program = api::Program::Parse(
+      "Start(a). Orphan(b).\n"
+      "Start(x) -> Log(y).\n");
+  ASSERT_TRUE(program.ok());
+  // Diagnostics are computed at parse and frozen into the Program.
+  ASSERT_EQ(program->diagnostics().size(), 2u);
+  EXPECT_EQ(program->diagnostics()[0].id, "NU001");
+  EXPECT_EQ(program->diagnostics()[1].id, "NU003");
+
+  auto analyzed = api::Session(*program).Analyze();
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_EQ(analyzed->diagnostics.size(), 2u);
+  EXPECT_EQ(analyzed->decision, termination::Decision::kTerminates);
+  EXPECT_EQ(analyzed->method, "weak-acyclicity");
+  EXPECT_TRUE(analyzed->ladder.wa.weakly_acyclic);
+}
+
+TEST(SessionTest, DecideAutoUpgradesGeneralViaLadder) {
+  auto program = api::Program::Parse(kJaShowcase);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->tgd_class(), tgd::TgdClass::kGeneral);
+  // A starved bounded chase cannot certify ...
+  api::Session starved(*program, api::SessionOptions().set_max_atoms(2));
+  auto naive = starved.Decide(api::DecideMethod::kBoundedChase);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive->decision, termination::Decision::kUnknown);
+  // ... but kAuto decides statically, without chasing D at all.
+  auto by_auto = starved.Decide();
+  ASSERT_TRUE(by_auto.ok());
+  EXPECT_EQ(by_auto->decision, termination::Decision::kTerminates);
+  EXPECT_EQ(by_auto->method, "ladder:ja");
+}
+
+TEST(SessionTest, StaticAnalysisIsComputedOncePerProgram) {
+  auto program = api::Program::Parse(kQuickstart);
+  ASSERT_TRUE(program.ok());
+  api::Session session(*program);
+  const std::uint64_t before =
+      termination::DeciderInvocationsForTest().load();
+  // Analyze, repeated Decides and an Advise over one frozen Program:
+  // exactly one syntactic-decider computation in total.
+  ASSERT_TRUE(session.Analyze().ok());
+  ASSERT_TRUE(session.Decide().ok());
+  ASSERT_TRUE(session.Decide().ok());
+  api::Session second(*program);  // caches live on the Program, not the
+  ASSERT_TRUE(second.Advise().ok());  // Session
+  EXPECT_EQ(termination::DeciderInvocationsForTest().load(), before + 1);
+
+  // A session with a non-default linearization budget must bypass the
+  // default-budget cache (quickstart is SL, so the class decider runs
+  // again rather than serving a budget-mismatched memo).
+  api::Session custom(*program,
+                      api::SessionOptions().set_max_types(7));
+  ASSERT_TRUE(custom.Decide().ok());
+  EXPECT_EQ(termination::DeciderInvocationsForTest().load(), before + 2);
+}
+
+TEST(SessionTest, LadderIsComputedOncePerProgram) {
+  auto program = api::Program::Parse(kJaShowcase);
+  ASSERT_TRUE(program.ok());
+  const termination::LadderResult* first = &program->ladder();
+  EXPECT_EQ(first, &program->ladder());
+  const std::uint64_t before =
+      termination::DeciderInvocationsForTest().load();
+  api::Session session(*program);
+  // The advisor borrows the memoized ladder: repeated kAuto decisions
+  // run no decider and no fresh ladder.
+  ASSERT_TRUE(session.Decide().ok());
+  ASSERT_TRUE(session.Decide().ok());
+  ASSERT_TRUE(session.Analyze().ok());
+  EXPECT_EQ(termination::DeciderInvocationsForTest().load(), before);
+}
+
 TEST(SessionTest, RoundBudgetStopsWithRoundLimit) {
   auto program = api::Program::Parse(
       "E(v1, v2). E(v2, v3). E(v3, v4).\n"

@@ -1,13 +1,14 @@
-# End-to-end test for tools/nuchase_cli, run via
-#   cmake -DNUCHASE_CLI=<exe> -DWORK_DIR=<dir> -DREPO_DIR=<src>
-#         -P cli_end_to_end.cmake
+# End-to-end test for tools/nuchase_cli and tools/nuchase_lint, run via
+#   cmake -DNUCHASE_CLI=<exe> -DNUCHASE_LINT=<exe> -DWORK_DIR=<dir>
+#         -DREPO_DIR=<src> -P cli_end_to_end.cmake
 # Drives classify/decide/chase/rewrite on the quickstart ontology,
 # asserts on exit codes and key output lines, and compares the
 # examples/programs/ outputs byte-for-byte against tests/golden/ so
 # engine refactors cannot silently change results.
 
-if(NOT NUCHASE_CLI OR NOT WORK_DIR OR NOT REPO_DIR)
-  message(FATAL_ERROR "NUCHASE_CLI, WORK_DIR and REPO_DIR must be set")
+if(NOT NUCHASE_CLI OR NOT NUCHASE_LINT OR NOT WORK_DIR OR NOT REPO_DIR)
+  message(FATAL_ERROR
+      "NUCHASE_CLI, NUCHASE_LINT, WORK_DIR and REPO_DIR must be set")
 endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
@@ -123,6 +124,11 @@ endforeach()
 # with outcome round-limit (exit 1 — the instance is only a chase
 # prefix) and deterministic counters.
 run_golden(datalog_tc.tgd datalog_tc_rounds.txt 1 chase --max-rounds=2)
+
+# The ladder showcases: general TGDs that no per-class procedure
+# covers, certified by the joint-acyclicity and MFA rungs.
+run_golden(ja_ladder.tgd ja_ladder_decide.txt 0 decide)
+run_golden(mfa_ladder.tgd mfa_ladder_decide.txt 0 decide)
 
 run_golden(witness_race.tgd witness_race_classify.txt 0 classify)
 run_golden(witness_race.tgd witness_race_decide.txt 1 decide)
@@ -250,5 +256,92 @@ foreach(prog quickstart data_exchange datalog_tc)
         "--- delta on ---\n${delta_on}\n--- delta off ---\n${delta_off}")
   endif()
 endforeach()
+
+# ---------------------------------------------------------------------
+# nuchase_lint: exit-code contract, golden reports, byte-determinism.
+#
+# The linter echoes the file path exactly as given, so every golden run
+# uses WORKING_DIRECTORY = examples/programs/ with a bare file name —
+# build-tree paths must never leak into tests/golden/.
+
+# run_lint(<out-var> <expected-rc> <arg>...) — like run_cli, for the
+# linter, run from the examples/programs directory.
+function(run_lint out_var expected_rc)
+  execute_process(
+      COMMAND "${NUCHASE_LINT}" ${ARGN}
+      WORKING_DIRECTORY "${REPO_DIR}/examples/programs"
+      OUTPUT_VARIABLE stdout
+      ERROR_VARIABLE stderr
+      RESULT_VARIABLE rc)
+  if(NOT rc EQUAL expected_rc)
+    message(FATAL_ERROR
+        "nuchase_lint ${ARGN}: exit ${rc}, expected ${expected_rc}\n"
+        "stdout:\n${stdout}\nstderr:\n${stderr}")
+  endif()
+  set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+# run_lint_golden(<program.tgd> <golden-file> <expected-rc> <arg>...)
+function(run_lint_golden program golden expected_rc)
+  run_lint(stdout ${expected_rc} ${ARGN} "${program}")
+  file(READ "${REPO_DIR}/tests/golden/${golden}" expected)
+  if(NOT stdout STREQUAL expected)
+    message(FATAL_ERROR
+        "golden mismatch for ${golden} (nuchase_lint ${ARGN} "
+        "${program}).\n--- expected ---\n${expected}\n"
+        "--- got ---\n${stdout}\n"
+        "If the change is intentional, regenerate tests/golden/ and "
+        "commit the diff.")
+  endif()
+endfunction()
+
+# Exit 0: clean programs (the ladder showcases raise no findings).
+run_lint_golden(ja_ladder.tgd ja_ladder_lint.txt 0)
+run_lint_golden(mfa_ladder.tgd mfa_ladder_lint.txt 0)
+
+# Exit 1: the showcase program raises every parsed-program diagnostic,
+# pinned byte-for-byte in both report formats.
+run_lint_golden(lint_showcase.tgd lint_showcase_lint.txt 1)
+run_lint_golden(lint_showcase.tgd lint_showcase_lint_json.txt 1
+    --format=json)
+
+# Byte-determinism: a second run, and runs under different --threads
+# values (the MFA rung chases the critical instance in parallel), must
+# reproduce the goldens exactly.
+run_lint_golden(lint_showcase.tgd lint_showcase_lint_json.txt 1
+    --format=json)
+run_lint_golden(mfa_ladder.tgd mfa_ladder_lint.txt 0 --threads=2)
+run_lint_golden(mfa_ladder.tgd mfa_ladder_lint.txt 0 --threads=3)
+
+# A clean SL program exits 0 and reports the per-class procedure.
+run_lint(out 0 "${PROGRAM_FILE}")
+expect_line("${out}" "class:       SL" "lint quickstart")
+expect_line("${out}" "termination: terminates (via weak-acyclicity)"
+    "lint quickstart")
+expect_line("${out}" "summary:     0 error(s), 0 warning(s), 0 info(s)"
+    "lint quickstart")
+
+# Exit 1: a parse failure surfaces as the synthetic NU000 diagnostic in
+# both formats, never as a crash or a usage error.
+file(WRITE "${WORK_DIR}/broken.tgd" "Emp(x ->\n")
+run_lint(out 1 "${WORK_DIR}/broken.tgd")
+expect_line("${out}" "error NU000" "lint parse failure")
+run_lint(out 1 --format=json "${WORK_DIR}/broken.tgd")
+expect_line("${out}" "\"id\": \"NU000\"" "lint parse failure json")
+
+# --list-ids prints the catalog and exits 0.
+run_lint(out 0 --list-ids)
+expect_line("${out}" "NU001 warning" "lint --list-ids")
+expect_line("${out}" "NU007 warning" "lint --list-ids")
+
+# Exit 2: usage errors — bad flag values, unknown options, a missing
+# operand, and an unreadable file.
+run_lint(out 2 --threads=abc ja_ladder.tgd)
+run_lint(out 2 --threads=257 ja_ladder.tgd)
+run_lint(out 2 --threads= ja_ladder.tgd)
+run_lint(out 2 --format=xml ja_ladder.tgd)
+run_lint(out 2 --bogus ja_ladder.tgd)
+run_lint(out 2)
+run_lint(out 2 "${WORK_DIR}/no_such_file.tgd")
 
 message(STATUS "cli_end_to_end: all checks passed")

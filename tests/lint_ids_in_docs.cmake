@@ -1,0 +1,48 @@
+# Diagnostic-catalog / docs cross-check, run via
+#   cmake -DNUCHASE_LINT=<exe> -DREPO_DIR=<src> -P lint_ids_in_docs.cmake
+# Every diagnostic ID the linter can emit (nuchase_lint --list-ids,
+# which prints analysis::DiagnosticCatalog) must be documented in
+# docs/analysis.md. Adding a diagnostic without documenting it fails
+# this test; the catalog is append-only, so IDs never vanish either.
+
+if(NOT NUCHASE_LINT OR NOT REPO_DIR)
+  message(FATAL_ERROR "NUCHASE_LINT and REPO_DIR must be set")
+endif()
+
+execute_process(
+    COMMAND "${NUCHASE_LINT}" --list-ids
+    OUTPUT_VARIABLE listing
+    ERROR_VARIABLE stderr
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "nuchase_lint --list-ids exited ${rc}:\n${listing}\n${stderr}")
+endif()
+
+file(READ "${REPO_DIR}/docs/analysis.md" docs)
+
+string(REGEX MATCHALL "NU[0-9][0-9][0-9]" ids "${listing}")
+list(REMOVE_DUPLICATES ids)
+list(LENGTH ids num_ids)
+if(num_ids LESS 8)
+  message(FATAL_ERROR
+      "--list-ids printed only ${num_ids} distinct IDs; the catalog "
+      "starts at 8 (NU000..NU007) and is append-only:\n${listing}")
+endif()
+
+set(missing "")
+foreach(id IN LISTS ids)
+  string(FIND "${docs}" "`${id}`" pos)
+  if(pos EQUAL -1)
+    list(APPEND missing "${id}")
+  endif()
+endforeach()
+if(missing)
+  message(FATAL_ERROR
+      "diagnostic IDs emitted by nuchase_lint --list-ids but not "
+      "documented in docs/analysis.md: ${missing}\n"
+      "Add a row to the 'Diagnostic catalog' table.")
+endif()
+
+message(STATUS
+    "lint_ids_in_docs: all ${num_ids} catalog IDs documented")

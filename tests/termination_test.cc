@@ -151,9 +151,49 @@ TEST_F(TerminationTest, DispatchPicksTheRightDecider) {
   ASSERT_TRUE(d.ok());
   EXPECT_EQ(d->used_class, tgd::TgdClass::kSimpleLinear);
 
+  // General TGDs dispatch to the acyclicity ladder instead of failing:
+  // a full (existential-free) set is trivially weakly acyclic, so the
+  // cheapest rung certifies it.
   tgd::Program general = Parse(
       "C(a, b). C(x, y), D(y, z) -> E(x, z).");
-  EXPECT_FALSE(Decide(&symbols_, general.tgds, general.database).ok());
+  auto dg = Decide(&symbols_, general.tgds, general.database);
+  ASSERT_TRUE(dg.ok()) << dg.status().ToString();
+  EXPECT_EQ(dg->used_class, tgd::TgdClass::kGeneral);
+  EXPECT_EQ(dg->decision, Decision::kTerminates);
+  EXPECT_EQ(dg->ladder_rung, "wa");
+}
+
+TEST_F(TerminationTest, DecideGeneralUpgradesUnknownToTerminates) {
+  // The committed JA showcase: not WA w.r.t. D, so before the ladder
+  // the general-class answer was a budget-bound kUnknown; JA certifies
+  // it statically. A starved bounded chase still says kUnknown — the
+  // upgrade is real, not a side effect of the chase finishing.
+  tgd::Program p = Parse(
+      "P(a). R(a, b).\n"
+      "P(x) -> Q(x, y).\n"
+      "Q(x, y), R(y, w) -> P(y).\n");
+  NaiveDecision naive =
+      DecideByChase(&symbols_, p.tgds, p.database, /*max_atoms=*/2);
+  EXPECT_EQ(naive.decision, Decision::kUnknown);
+
+  auto d = DecideGeneral(&symbols_, p.tgds, p.database);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->decision, Decision::kTerminates);
+  EXPECT_EQ(d->ladder_rung, "ja");
+}
+
+TEST_F(TerminationTest, AdvisorUsesLadderForGeneralTgds) {
+  tgd::Program p = Parse(
+      "B(a). D(a, b).\n"
+      "B(x) -> R(x, y).\n"
+      "R(x, y), B(y), D(x, w) -> C(x).\n"
+      "C(x), R(x, y) -> B(y).\n");
+  auto report = Advise(&symbols_, p.tgds, p.database);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->tgd_class, tgd::TgdClass::kGeneral);
+  EXPECT_EQ(report->decision, Decision::kTerminates);
+  EXPECT_EQ(report->method, "ladder:mfa");
+  ASSERT_TRUE(report->materialization.has_value());
 }
 
 TEST_F(TerminationTest, UcqDeciderSL) {
