@@ -7,11 +7,11 @@
 // actually run in parallel — tools/check_bench_regression gates the
 // speedup only on rows the hardware can honour (threads <= cores), so
 // the bench is meaningful (and the gate quiet) on starved CI runners —
-// and the `parallel_rounds` / `parallel_apply` columns are the
-// clock-free engagement proofs the gate checks everywhere: a
-// threads>=2 row with either at 0 means the collect (respectively
-// apply) phase silently fell back to the sequential code, which
-// byte-identity alone can never reveal. The insert-heavy workload
+// and the `parallel_rounds` / `parallel_apply` / `parallel_commit`
+// columns are the clock-free engagement proofs the gate checks
+// everywhere: a threads>=2 row with any at 0 means the collect
+// (respectively apply, per-segment commit) phase silently fell back
+// to the sequential code, which byte-identity alone can never reveal. The insert-heavy workload
 // (noise=1: minimal join work per seed) isolates the apply phase —
 // null binding, candidate construction, sharded dedup — the way the
 // wide family isolates collect.
@@ -72,6 +72,7 @@ void RunScaling(const std::string& workload_name,
                    std::to_string(m.stats.arena_bytes),
                    std::to_string(m.stats.parallel_rounds),
                    std::to_string(m.stats.parallel_apply_batches),
+                   std::to_string(m.stats.parallel_commit_batches),
                    m.sorted == reference.sorted &&
                            m.stats.join_probes ==
                                reference.stats.join_probes
@@ -90,7 +91,8 @@ void Run() {
   util::Table table("parallel scaling",
                     {"workload", "threads", "cores", "chase(s)",
                      "speedup", "join_probes", "atoms", "arena_bytes",
-                     "parallel_rounds", "parallel_apply", "same result"});
+                     "parallel_rounds", "parallel_apply",
+                     "parallel_commit", "same result"});
   // The headline row family: wide rounds (width x payloads delta atoms
   // per round), per-seed join work `noise` deep, 80 recursive layers.
   // payloads >> noise keeps |D| (inserted serially inside the timed
@@ -106,8 +108,9 @@ void Run() {
   // to its minimum, so the run is dominated by the apply phase — null
   // binding, head-candidate construction and the sharded dedup probes.
   // This is the row that exercises the parallel apply stages (the
-  // `parallel_apply` column proves engagement) rather than the
-  // parallel collect.
+  // `parallel_apply` and `parallel_commit` columns prove the probe and
+  // per-segment commit stages engaged) rather than the parallel
+  // collect.
   RunScaling("insert-heavy",
              [](core::SymbolTable* symbols) {
                return workload::MakeWideDepthFamily(

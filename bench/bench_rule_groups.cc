@@ -13,7 +13,10 @@
 // the clock-free proofs tools/check_bench_regression gates on: a
 // reliances-on threads>=2 row with cross_rule_rounds=0 means the
 // scheduler silently degraded to rule-at-a-time collects, which
-// byte-identity alone can never reveal.
+// byte-identity alone can never reveal. A third, duplicate-heavy
+// workload (dense transitive closure) stresses the run-scoped fired
+// set instead: most candidate triggers it discovers are repeats, so
+// the (rule, frontier) dedup table dominates the collect phase.
 #include <string>
 #include <thread>
 
@@ -46,6 +49,37 @@ std::string MakeFamilies(int families, int layers, int width) {
               ").\n";
     }
     text += cf + "(x, y), " + mf + "(x) -> " + mf + "(y).\n";
+  }
+  return text;
+}
+
+/// F disjoint dense transitive closures: per family f, a DAG E_f over
+/// `nodes` vertices with an edge to each of the next `window` vertices,
+/// feeding a copy rule and a two-atom recursive closure rule:
+///   E_f(x, y) -> T_f(x, y).
+///   T_f(x, y), T_f(y, z) -> T_f(x, z).
+/// Every derived pair (x, z) is rediscovered through every midpoint y
+/// between x and z — and from both body positions of the closure rule —
+/// so the collect phase floods the run-scoped fired set with duplicate
+/// (rule, frontier) candidates. This is the workload where the flat
+/// epoch-tagged fired table (vs. the former node-per-key sharded sets)
+/// is the hot structure; the copy rule keeps the closure rule inside a
+/// multi-rule collect group so the cross-rule engagement gate still has
+/// something to measure.
+std::string MakeDenseClosures(int families, int nodes, int window) {
+  std::string text;
+  for (int f = 0; f < families; ++f) {
+    std::string ef = "E" + std::to_string(f);
+    std::string tf = "T" + std::to_string(f);
+    for (int i = 0; i < nodes; ++i) {
+      for (int j = i + 1; j <= i + window && j < nodes; ++j) {
+        text += ef + "(v" + std::to_string(f) + "_" + std::to_string(i) +
+                ", v" + std::to_string(f) + "_" + std::to_string(j) +
+                ").\n";
+      }
+    }
+    text += ef + "(x, y) -> " + tf + "(x, y).\n";
+    text += tf + "(x, y), " + tf + "(y, z) -> " + tf + "(x, z).\n";
   }
   return text;
 }
@@ -96,18 +130,22 @@ void Run() {
   const unsigned cores = std::thread::hardware_concurrency();
   const struct {
     const char* name;
-    int families, layers, width;
+    std::string text;
   } workloads[] = {
       // Wide rounds: every round carries families x width M-seeds, the
       // shape where spanning rules beats sharding one rule's seeds.
-      {"independent-families-wide", 4, 48, 12},
+      {"independent-families-wide", MakeFamilies(4, 48, 12)},
       // Narrow rounds: one seed per family per round, so rule-at-a-time
       // sharding has literally nothing to split — only the cross-rule
       // schedule keeps more than one worker busy.
-      {"independent-families-narrow", 6, 256, 1},
+      {"independent-families-narrow", MakeFamilies(6, 256, 1)},
+      // Duplicate-heavy rounds: dense transitive closure rediscovers
+      // every derived pair once per midpoint, so trigger dedup — the
+      // run-scoped fired set — takes the bulk of the collect traffic.
+      {"duplicate-heavy-closure", MakeDenseClosures(2, 72, 6)},
   };
   for (const auto& w : workloads) {
-    const std::string text = MakeFamilies(w.families, w.layers, w.width);
+    const std::string& text = w.text;
     Measurement reference;
     const struct {
       bool use_reliances;

@@ -18,6 +18,7 @@ chase::ChaseOptions Session::MakeChaseOptions() const {
   copt.use_delta = options_.use_delta;
   copt.use_position_index = options_.use_position_index;
   copt.num_threads = options_.num_threads;
+  copt.extent_log2 = options_.extent_log2;
   copt.deadline_ms = options_.deadline_ms;
   copt.cancel = options_.cancel;
   copt.observer = options_.observer;
@@ -148,6 +149,7 @@ util::StatusOr<DecideResult> Session::Decide(DecideMethod method) const {
       aopt.use_delta = options_.use_delta;
       aopt.use_position_index = options_.use_position_index;
       aopt.num_threads = options_.num_threads;
+      aopt.extent_log2 = options_.extent_log2;
       aopt.deadline_ms = options_.deadline_ms;
       aopt.cancel = options_.cancel;
       aopt.observer = options_.observer;
@@ -177,6 +179,7 @@ util::StatusOr<AdviseResult> Session::Advise() const {
   aopt.use_delta = options_.use_delta;
   aopt.use_position_index = options_.use_position_index;
   aopt.num_threads = options_.num_threads;
+  aopt.extent_log2 = options_.extent_log2;
   aopt.deadline_ms = options_.deadline_ms;
   aopt.cancel = options_.cancel;
   aopt.observer = options_.observer;

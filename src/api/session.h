@@ -63,6 +63,13 @@ struct SessionOptions {
   /// every value — the knob trades wall-clock for cores, nothing else;
   /// see chase::ChaseOptions::num_threads for the engine contract.
   std::uint32_t num_threads = chase::kNumThreadsDefault;
+  /// Log2 of the instance's extent size in terms, forwarded to every
+  /// chase this session runs. 0 (the default) keeps the engine's
+  /// built-in geometry. Observationally invisible — bytes, sorted
+  /// renderings and arena_bytes are identical for every value; the knob
+  /// trades allocation granularity for memory headroom, nothing else;
+  /// see chase::ChaseOptions::extent_log2 for the engine contract.
+  std::uint32_t extent_log2 = 0;
   /// Record the guarded chase forest (Section 5) during Chase().
   bool build_forest = false;
   /// Advise(): materialize chase(D,Σ) when the decision is kTerminates.
@@ -113,6 +120,10 @@ struct SessionOptions {
   }
   SessionOptions& set_num_threads(std::uint32_t n) {
     num_threads = n;
+    return *this;
+  }
+  SessionOptions& set_extent_log2(std::uint32_t log2) {
+    extent_log2 = log2;
     return *this;
   }
   SessionOptions& set_build_forest(bool on) {

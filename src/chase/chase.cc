@@ -1,15 +1,14 @@
 #include "chase/chase.h"
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <thread>
-#include <unordered_set>
 
+#include "chase/fired_set.h"
 #include "chase/null_store.h"
 #include "chase/trigger.h"
 #include "graph/reliance.h"
@@ -225,40 +224,6 @@ struct SeedTask {
   AtomIndex atom;
 };
 
-/// The collect-phase (σ, h)-dedup set, hash-sharded exactly like the
-/// instance's tuple dedup index: 16 tables selected by the top 4 bits of
-/// the key hash (the open-addressing arena index consumes the LOW bits,
-/// so the two layouts stay independent even though they share the
-/// mixer). During a pooled collect region the set is strictly read-only
-/// — workers call Contains, all inserts happen in the serial canonical
-/// merge after the barrier — so sharding here is about memory layout,
-/// not locking: cross-rule regions probe with many rules' key streams
-/// at once, and fanning those streams across 16 small tables keeps them
-/// out of one table's bucket array. Byte-identity is untouched: shard
-/// choice is a pure function of the key, and membership is the union of
-/// the shards.
-class ShardedFiredSet {
- public:
-  bool Contains(const std::vector<std::uint32_t>& key) const {
-    return shards_[ShardOf(key)].count(key) != 0;
-  }
-  /// True iff the key was newly inserted.
-  bool Insert(std::vector<std::uint32_t>&& key) {
-    return shards_[ShardOf(key)].insert(std::move(key)).second;
-  }
-
- private:
-  static constexpr std::size_t kNumShards = 16;
-  static std::size_t ShardOf(const std::vector<std::uint32_t>& key) {
-    return util::Mix64(util::VectorHash<std::uint32_t>{}(key)) >>
-           (64 - 4);
-  }
-  std::array<std::unordered_set<std::vector<std::uint32_t>,
-                                util::VectorHash<std::uint32_t>>,
-             kNumShards>
-      shards_;
-};
-
 /// Thread-local state of one collect worker, reused across rounds. The
 /// buffers are written only by the owning worker inside a pool region
 /// and read only by the merge after the barrier.
@@ -331,10 +296,37 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
                      const core::Database& db,
                      const ChaseOptions& options) {
   ChaseResult result;
+  if (options.extent_log2 != 0) {
+    // Re-seat the default-geometry instance before anything observes
+    // it. Extent geometry is observationally invisible (same bytes,
+    // same ToSortedString, same arena_bytes — padding is excluded per
+    // segment), so this knob is tuning-only and golden-safe. Tuples
+    // never straddle an extent boundary, so the requested geometry is
+    // clamped up — equally invisibly — until one extent holds the
+    // widest tuple the run can store (schema atoms cover every head
+    // the chase can fire; database facts cover the initial load).
+    std::uint32_t widest = 1;
+    for (const Atom& fact : db.facts()) {
+      widest = std::max(widest, fact.arity());
+    }
+    const tgd::RuleIndex num_rules =
+        static_cast<tgd::RuleIndex>(tgds.size());
+    for (tgd::RuleIndex ti = 0; ti < num_rules; ++ti) {
+      for (const Atom& a : tgds.tgd(ti).body()) {
+        widest = std::max(widest, a.arity());
+      }
+      for (const Atom& a : tgds.tgd(ti).head()) {
+        widest = std::max(widest, a.arity());
+      }
+    }
+    std::uint32_t log2 = options.extent_log2;
+    while ((std::uint64_t{1} << log2) < widest) ++log2;
+    result.instance = Instance(log2);
+  }
   Instance& instance = result.instance;
   NullStore nulls(symbols);
   const bool oblivious = options.variant == ChaseVariant::kOblivious;
-  ShardedFiredSet fired;
+  FlatFiredSet fired;
 
   // Cooperative interruption: the cancel token is a relaxed atomic read,
   // polled on every call; the deadline needs a clock read, amortized to
@@ -548,7 +540,7 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
       PendingTrigger trig;
       std::vector<std::uint32_t> key;
       FillPendingTrigger(rule, ti, oblivious, h, &trig, &key);
-      if (!fired.Insert(std::move(key))) return true;
+      if (!fired.Insert(key)) return true;
       if (rule.IsGuarded()) {
         ApplySubstitutionInto(rule.guard(), h, &scratch);
         AtomIndex gi = 0;
@@ -1012,6 +1004,7 @@ ChaseResult RunChase(core::SymbolScope* symbols, const tgd::TgdSet& tgds,
       // and is the only place triggers are counted, observers fire
       // and budgets trip — bookkeeping identical to the serial walk.
       ChaseOutcome merge_stop = ChaseOutcome::kTerminated;
+      if (pool_ptr != nullptr) ++result.stats.parallel_commit_batches;
       instance.InsertTupleBatch(
           apply_terms.data(), apply_tuples, pool_ptr,
           [&](std::size_t pos, AtomIndex idx, bool fresh) {

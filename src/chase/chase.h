@@ -166,13 +166,25 @@ struct ChaseOptions {
   /// shards delta seeds across workers (it still requires use_delta and
   /// !build_forest; other runs collect sequentially — a cost statement,
   /// not a semantic one). The apply phase is parallel for every run
-  /// shape: head-tuple candidate construction and the sharded dedup
-  /// probes fan out, and for the restricted variant the
-  /// head-satisfaction pre-checks run read-only against the frozen
-  /// round-start instance. Null creation and the arena commits stay
-  /// serial in canonical trigger order — that, plus the canonical
+  /// shape: head-tuple candidate construction, the per-segment dedup
+  /// probes and the per-predicate segment commits fan out, and for the
+  /// restricted variant the head-satisfaction pre-checks run read-only
+  /// against the frozen round-start instance. Null creation, the
+  /// canonical cross-predicate index numbering and the merge callbacks
+  /// stay serial in canonical trigger order — that, plus the canonical
   /// merges, is what keeps the results byte-identical.
   std::uint32_t num_threads = kNumThreadsDefault;
+  /// Terms per storage extent, as a power of two: the result instance
+  /// is built with core::Instance(extent_log2). 0 (the default) means
+  /// core::Instance::kDefaultExtentLog2. Extent geometry is
+  /// observationally invisible — instance bytes, arena_bytes (padding
+  /// is excluded per segment) and every deterministic counter are
+  /// identical for any legal value; only memory granularity and cache
+  /// behavior differ. An extent must hold the widest tuple of the run;
+  /// RunChase clamps the value up until it does (invisibly, by the
+  /// above), so a small request on a wide schema is safe. The CLI caps
+  /// its flag at [2, 24].
+  std::uint32_t extent_log2 = 0;
 };
 
 /// The worker count a run with these options will actually use: resolves
@@ -242,6 +254,17 @@ struct ChaseStats {
   /// purpose: tools/check_bench_regression gates it to catch a parallel
   /// apply path silently falling back to serial.
   std::uint64_t parallel_apply_batches = 0;
+  /// Apply batches whose per-predicate segment commit ran on the worker
+  /// pool — the stage the per-predicate storage split exists for:
+  /// batched candidates are probed per (segment, shard) owner and
+  /// committed per segment owner concurrently, with only the canonical
+  /// cross-predicate numbering and the merge callbacks left serial.
+  /// Engine telemetry with the same status as parallel_apply_batches —
+  /// outside the byte-identity contract, 0 for sequential runs — and
+  /// the same purpose: tools/check_bench_regression gates it on every
+  /// machine to catch the concurrent-commit path silently falling back
+  /// to the serial one.
+  std::uint64_t parallel_commit_batches = 0;
   /// Number of collect groups in the reliance schedule the run walked
   /// (see ChaseOptions::use_reliances): |Σ| when every rule is its own
   /// group, smaller when independent rules share one, 0 when reliance

@@ -113,17 +113,21 @@ struct AtomHash {
 };
 
 /// A stable, cheap handle to one atom of an Instance: its predicate plus
-/// the offset of its argument tuple in the instance's term arena. The
-/// arena is a sequence of fixed-size extents and tuples never straddle
-/// an extent boundary, so the offset decomposes as
-/// (offset >> extent_log2, offset & extent_mask) — extent index plus
-/// slot — and the extent blocks themselves never move or reallocate:
-/// an AtomRef (and any pointer derived from it) stays valid for the
-/// lifetime of the instance regardless of later growth. The predicate's
-/// (fixed) arity rides along in otherwise-padding bytes so resolving a
-/// ref to its tuple costs one 16-byte load plus one extent-table load —
-/// the join kernel probes millions of refs; further dependent lookups
-/// per probe are measurable.
+/// the offset of its argument tuple *within that predicate's segment* —
+/// storage is partitioned by predicate, and the instance's directory of
+/// AtomRefs (indexed by global AtomIndex, assigned in insertion order
+/// across all predicates) is the global-index indirection that ties the
+/// partition back together; it is append-only and its entries never
+/// change. Each segment's arena is a sequence of fixed-size extents and
+/// tuples never straddle an extent boundary, so the local offset
+/// decomposes as (offset >> extent_log2, offset & extent_mask) — extent
+/// index plus slot — and the extent blocks themselves never move or
+/// reallocate: an AtomRef (and any pointer derived from it) stays valid
+/// for the lifetime of the instance regardless of later growth. The
+/// predicate's (fixed) arity rides along in otherwise-padding bytes so
+/// resolving a ref to its tuple costs one 16-byte load plus one
+/// segment/extent-table load — the join kernel probes millions of refs;
+/// further dependent lookups per probe are measurable.
 struct AtomRef {
   std::uint64_t offset = 0;
   PredicateId predicate = kInvalidPredicate;

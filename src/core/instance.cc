@@ -14,6 +14,18 @@ constexpr std::uint32_t Instance::kDefaultExtentLog2;
 constexpr std::uint32_t Instance::kShardBits;
 constexpr std::uint32_t Instance::kNumShards;
 
+Instance::Segment& Instance::EnsureSegment(PredicateId pred) {
+  if (pred >= segments_.size()) {
+    segments_.resize(pred + 1);
+  }
+  if (segments_[pred] == nullptr) {
+    segments_[pred].reset(new Segment());
+    // A segment born under delta tracking starts with its whole (empty)
+    // atom list in the "next" generation — delta_next_mark = 0 already.
+  }
+  return *segments_[pred];
+}
+
 std::size_t Instance::ProbeShard(const Shard& shard, PredicateId pred,
                                  TermSpan terms, std::size_t hash,
                                  const Term* buffer,
@@ -41,7 +53,7 @@ std::size_t Instance::ProbeShard(const Shard& shard, PredicateId pred,
   }
 }
 
-void Instance::GrowShard(Shard* shard) {
+void Instance::GrowShard(Segment* seg, Shard* shard) {
   std::vector<AtomIndex> old = std::move(shard->slots);
   std::size_t new_size = old.empty() ? 64 : old.size() * 2;
   shard->slots.assign(new_size, kEmptySlot);
@@ -63,7 +75,7 @@ void Instance::GrowShard(Shard* shard) {
     if (entry == kEmptySlot || (entry & kPendingBit) != 0) continue;
     const AtomRef& ref = refs_[entry];
     seat(entry, TupleHash(ref.predicate,
-                          TermSpan(TuplePtr(ref.offset), ref.arity)));
+                          TermSpan(TuplePtr(*seg, ref.offset), ref.arity)));
   }
   std::vector<AtomIndex> pending;
   for (AtomIndex entry : old) {
@@ -74,72 +86,59 @@ void Instance::GrowShard(Shard* shard) {
   std::sort(pending.begin(), pending.end());  // batch-position order
   for (AtomIndex entry : pending) {
     const AtomIndex pos = entry & ~kPendingBit;
-    // The claim recorded the placeholder's slot so the merge can patch
-    // (or the scrub can clear) it; moving the placeholder moves that
-    // record with it. Only this worker touches this shard's tuples, so
-    // the verdict entry is its to update.
+    // The claim recorded the placeholder's slot so the commit can patch
+    // (or the rollback can clear) it; moving the placeholder moves that
+    // record with it. Only this shard's owner touches these verdicts,
+    // so the entry is its to update.
     batch_verdicts_[pos].slot = seat(entry, batch_hashes_[pos]);
   }
 }
 
-std::uint64_t Instance::AppendTuple(const Term* src, std::uint32_t n) {
+std::uint64_t Instance::AppendTuple(Segment* seg, const Term* src,
+                                    std::uint32_t n) {
   assert(n <= extent_capacity_ && "tuple arity exceeds extent capacity");
   if (n == 0) {
     // 0-ary atoms store no terms; give them a valid (never
-    // dereferenced) address in extent 0.
-    if (extents_.empty()) {
-      extents_.emplace_back(new Term[extent_capacity_]);
+    // dereferenced) address in the segment's extent 0.
+    if (seg->extents.empty()) {
+      seg->extents.emplace_back(new Term[extent_capacity_]);
     }
     return 0;
   }
-  std::uint64_t within = raw_next_ & extent_mask_;
+  std::uint64_t within = seg->raw_next & extent_mask_;
   if (within != 0 && extent_capacity_ - within < n) {
     // The tuple would straddle the extent boundary: pad the tail (the
     // padding terms are garbage and are never scanned — every reader
-    // walks refs_, not raw offsets) and start the next extent.
-    raw_next_ += extent_capacity_ - within;
+    // walks the directory, not raw offsets) and start the next extent.
+    seg->raw_next += extent_capacity_ - within;
   }
-  const std::uint64_t offset = raw_next_;
+  const std::uint64_t offset = seg->raw_next;
   const std::uint64_t extent = offset >> extent_log2_;
-  if (extent == extents_.size()) {
-    extents_.emplace_back(new Term[extent_capacity_]);
+  if (extent == seg->extents.size()) {
+    seg->extents.emplace_back(new Term[extent_capacity_]);
   }
-  std::copy(src, src + n, extents_[extent].get() + (offset & extent_mask_));
-  raw_next_ = offset + n;
-  used_terms_ += n;
+  std::copy(src, src + n,
+            seg->extents[extent].get() + (offset & extent_mask_));
+  seg->raw_next = offset + n;
+  seg->used_terms += n;
   return offset;
 }
 
-AtomIndex Instance::CommitTuple(PredicateId pred, std::uint64_t offset,
-                                std::uint32_t n) {
-  if (pred >= pred_arity_.size()) {
-    pred_arity_.resize(pred + 1, kUnknownArity);
-  }
-  if (pred_arity_[pred] == kUnknownArity) {
-    pred_arity_[pred] = n;
-  }
-  assert(pred_arity_[pred] == n &&
-         "predicate arity is fixed per Instance");
-
-  AtomIndex idx = static_cast<AtomIndex>(refs_.size());
-  refs_.emplace_back(pred, offset, n);
-
-  const Term* tuple = TuplePtr(offset);
-  by_predicate_[pred].push_back(idx);
+void Instance::RecordTuple(Segment* seg, AtomIndex idx,
+                           std::uint64_t offset, std::uint32_t n) {
+  seg->atoms.push_back(idx);
+  const Term* tuple = TuplePtr(*seg, offset);
   for (std::uint32_t i = 0; i < n; ++i) {
-    by_position_[PosKey{pred, i, tuple[i]}].push_back(idx);
+    seg->by_position[PosKey{i, tuple[i]}].push_back(idx);
   }
-  if (track_delta_) {
-    delta_next_[pred].push_back(idx);
-    ++delta_next_size_;
-  }
-  return idx;
 }
 
 bool Instance::FindTuple(PredicateId pred, TermSpan terms,
                          AtomIndex* index) const {
+  if (pred >= segments_.size() || segments_[pred] == nullptr) return false;
+  const Segment& seg = *segments_[pred];
   std::size_t hash = TupleHash(pred, terms);
-  const Shard& shard = shards_[ShardOf(hash)];
+  const Shard& shard = seg.shards[ShardOf(hash)];
   if (shard.slots.empty()) return false;
   std::size_t slot =
       ProbeShard(shard, pred, terms, hash, nullptr, nullptr);
@@ -151,17 +150,21 @@ bool Instance::FindTuple(PredicateId pred, TermSpan terms,
 std::pair<AtomIndex, bool> Instance::InsertTuple(PredicateId pred,
                                                  TermSpan terms) {
   std::size_t hash = TupleHash(pred, terms);
-  Shard& shard = shards_[ShardOf(hash)];
+  Segment& seg = EnsureSegment(pred);
+  Shard& shard = seg.shards[ShardOf(hash)];
   // Keep the shard's load factor below ~0.75 (counting the insert to
   // come).
   if ((shard.entries + 1) * 4 >= shard.slots.size() * 3) {
-    GrowShard(&shard);
+    GrowShard(&seg, &shard);
   }
   std::size_t slot = ProbeShard(shard, pred, terms, hash, nullptr, nullptr);
   if (shard.slots[slot] != kEmptySlot) return {shard.slots[slot], false};
 
-  const std::uint64_t offset = AppendTuple(terms.data(), terms.size());
-  AtomIndex idx = CommitTuple(pred, offset, terms.size());
+  LearnArity(&seg, terms.size());
+  const std::uint64_t offset = AppendTuple(&seg, terms.data(), terms.size());
+  AtomIndex idx = static_cast<AtomIndex>(refs_.size());
+  refs_.emplace_back(pred, offset, terms.size());
+  RecordTuple(&seg, idx, offset, terms.size());
   shard.slots[slot] = idx;
   ++shard.entries;
   return {idx, true};
@@ -188,25 +191,32 @@ std::size_t Instance::InsertTupleBatch(
         }
       });
 
-  // Stage 2: probe the shards. Each worker owns a fixed subset of
-  // shards and walks the whole batch in order, so every shard's slot
-  // table evolves in batch order no matter how many workers run — the
-  // verdicts (and the table layout) are scheduling-independent. First
-  // occurrences claim their slot with a pending placeholder so later
-  // duplicates in the same batch resolve against them.
-  const unsigned shard_workers =
-      pool != nullptr
-          ? std::min(pool->workers(), static_cast<unsigned>(kNumShards))
-          : 1u;
-  auto probe_shards = [&](unsigned w, unsigned stride) {
+  // Stage 2: create every touched predicate's segment up front, so the
+  // parallel stages below never resize the segment directory (segments
+  // themselves are immobile once created).
+  for (std::size_t i = 0; i < n; ++i) {
+    EnsureSegment(tuples[i].pred);
+  }
+
+  const unsigned stride = pool != nullptr ? pool->workers() : 1u;
+
+  // Stage 3: probe the dedup shards. Each (segment, shard) pair is
+  // hash-assigned to exactly one worker, which walks the whole batch in
+  // order, so every shard's slot table evolves in batch order no matter
+  // how many workers run — the verdicts (and the table layout) are
+  // scheduling-independent. First occurrences claim their slot with a
+  // pending placeholder so later duplicates in the same batch resolve
+  // against them.
+  auto probe_segments = [&](unsigned w) {
     for (std::size_t i = 0; i < n; ++i) {
-      const std::uint32_t shard_id = ShardOf(batch_hashes_[i]);
-      if (shard_id % stride != w) continue;
-      Shard& shard = shards_[shard_id];
       const BatchTuple& t = tuples[i];
+      const std::uint32_t shard_id = ShardOf(batch_hashes_[i]);
+      if ((PredOwner(t.pred) + shard_id) % stride != w) continue;
+      Segment& seg = *segments_[t.pred];
+      Shard& shard = seg.shards[shard_id];
       TermSpan terms(buffer + t.begin, t.arity);
       if ((shard.entries + 1) * 4 >= shard.slots.size() * 3) {
-        GrowShard(&shard);
+        GrowShard(&seg, &shard);
       }
       std::size_t slot = ProbeShard(shard, t.pred, terms,
                                     batch_hashes_[i], buffer, &tuples);
@@ -227,86 +237,173 @@ std::size_t Instance::InsertTupleBatch(
       }
     }
   };
-  if (shard_workers > 1) {
-    pool->Run([&](unsigned w) {
-      if (w < shard_workers) probe_shards(w, shard_workers);
-    });
+  if (stride > 1) {
+    pool->Run(probe_segments);
   } else {
-    probe_shards(0, 1);
+    probe_segments(0);
   }
 
-  // Stage 3: serial merge in batch order — the only stage that touches
-  // the arena, the directory or the layered indexes, so their contents
-  // are identical to the sequential InsertTuple loop's.
+  // Stage 4: the serial canonical cross-predicate merge order — assign
+  // global AtomIndexes to the fresh tuples in batch order (and learn
+  // arities deterministically), the exact numbering the sequential
+  // InsertTuple loop would have produced.
+  AtomIndex next_index = static_cast<AtomIndex>(refs_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchVerdict& v = batch_verdicts_[i];
+    if (v.kind == 0) {
+      LearnArity(segments_[tuples[i].pred].get(), tuples[i].arity);
+      batch_indexes_[i] = next_index++;
+    } else if (v.kind == 1) {
+      batch_indexes_[i] = v.ref;
+    } else {
+      batch_indexes_[i] = batch_indexes_[v.ref];  // earlier batch pos
+    }
+  }
+
+  // Stage 5: per-predicate parallel commit. Each segment is
+  // hash-assigned to exactly one worker, which appends its predicate's
+  // fresh tuples to the segment arena in batch order (recording each
+  // local offset in the verdict), patches the claimed slots to their
+  // final global indexes, and extends the segment's atom list and
+  // position index. Disjoint segments — no shared writes; within a
+  // segment, batch order — the layout is thread-count-invariant.
+  auto commit_segments = [&](unsigned w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const BatchTuple& t = tuples[i];
+      if (PredOwner(t.pred) % stride != w) continue;
+      BatchVerdict& v = batch_verdicts_[i];
+      if (v.kind != 0) continue;
+      Segment& seg = *segments_[t.pred];
+      v.offset = AppendTuple(&seg, buffer + t.begin, t.arity);
+      seg.shards[ShardOf(batch_hashes_[i])].slots[v.slot] =
+          batch_indexes_[i];
+      RecordTuple(&seg, batch_indexes_[i], v.offset, t.arity);
+    }
+  };
+  if (stride > 1) {
+    pool->Run(commit_segments);
+  } else {
+    commit_segments(0);
+  }
+
+  // Stage 6: serial merge in batch order — extend the global directory
+  // and run the caller's callback, a sequence identical to the
+  // sequential InsertTuple loop's.
   std::size_t merged = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const BatchTuple& t = tuples[i];
     const BatchVerdict& v = batch_verdicts_[i];
-    AtomIndex idx;
-    bool fresh = false;
-    if (v.kind == 0) {
-      const std::uint64_t offset = AppendTuple(buffer + t.begin, t.arity);
-      idx = CommitTuple(t.pred, offset, t.arity);
-      Shard& shard = shards_[ShardOf(batch_hashes_[i])];
-      shard.slots[v.slot] = idx;  // patch the placeholder
-      fresh = true;
-    } else if (v.kind == 1) {
-      idx = v.ref;
-    } else {
-      idx = batch_indexes_[v.ref];  // duplicate of an earlier position
+    const AtomIndex idx = batch_indexes_[i];
+    const bool fresh = v.kind == 0;
+    if (fresh) {
+      assert(static_cast<AtomIndex>(refs_.size()) == idx &&
+             "stage-4 numbering must match the directory");
+      refs_.emplace_back(t.pred, v.offset, t.arity);
     }
-    batch_indexes_[i] = idx;
     ++merged;
     if (!on_merged(i, idx, fresh)) {
-      // Scrub the claims of the tuples that will not be inserted. Safe
-      // by the seating-order invariant (see GrowShard): no surviving
-      // entry's probe chain passes a later placeholder's slot.
-      for (std::size_t j = i + 1; j < n; ++j) {
-        if (batch_verdicts_[j].kind != 0) continue;
-        Shard& shard = shards_[ShardOf(batch_hashes_[j])];
-        shard.slots[batch_verdicts_[j].slot] = kEmptySlot;
-        --shard.entries;
-      }
+      RollBackBatch(tuples, i);
       break;
     }
   }
   return merged;
 }
 
+void Instance::RollBackBatch(const std::vector<BatchTuple>& tuples,
+                             std::size_t kept) {
+  // Walk backwards so every entry being popped is at the tail of its
+  // list (commits pushed in batch order), and so each segment's
+  // raw_next ends at its smallest removed offset. Scrubbing the dedup
+  // slots in any order is safe by the seating-order invariant (see
+  // GrowShard): no surviving entry's probe chain passes a later batch
+  // tuple's slot.
+  for (std::size_t j = tuples.size(); j-- > kept + 1;) {
+    const BatchVerdict& v = batch_verdicts_[j];
+    if (v.kind != 0) continue;
+    const BatchTuple& t = tuples[j];
+    Segment& seg = *segments_[t.pred];
+    Shard& shard = seg.shards[ShardOf(batch_hashes_[j])];
+    shard.slots[v.slot] = kEmptySlot;
+    --shard.entries;
+    const Term* tuple = TuplePtr(seg, v.offset);
+    for (std::uint32_t p = 0; p < t.arity; ++p) {
+      auto it = seg.by_position.find(PosKey{p, tuple[p]});
+      assert(it != seg.by_position.end() && !it->second.empty());
+      it->second.pop_back();
+    }
+    assert(!seg.atoms.empty());
+    seg.atoms.pop_back();
+    // Truncate the arena to this tuple's start. Padding inserted just
+    // before it stays inside raw_next (harmless: the next append starts
+    // at a valid, already-padded position; used_terms never counted
+    // padding, so arena_bytes is exact either way).
+    seg.raw_next = v.offset;
+    seg.used_terms -= t.arity;
+    if (seg.atoms.empty()) {
+      // The whole segment was born in the rolled-back suffix: forget
+      // the arity learned in stage 4 so PredicateArity reports the
+      // predicate as unseen, exactly as if the batch had ended early.
+      seg.arity = kUnknownArity;
+    }
+  }
+}
+
+void Instance::EnableDeltaTracking() {
+  if (track_delta_) return;
+  track_delta_ = true;
+  // Atoms inserted before tracking began are not part of any
+  // generation: start every existing segment's "next" watermark at its
+  // current tail.
+  for (auto& seg : segments_) {
+    if (seg != nullptr) seg->delta_next_mark = seg->atoms.size();
+  }
+}
+
 std::size_t Instance::AdvanceDelta() {
-  delta_curr_ = std::move(delta_next_);
-  delta_curr_size_ = delta_next_size_;
-  delta_next_.clear();
-  delta_next_size_ = 0;
+  delta_curr_size_ = 0;
+  for (auto& seg : segments_) {
+    if (seg == nullptr) continue;
+    if (!track_delta_) {
+      seg->delta_curr.clear();
+      seg->delta_next_mark = seg->atoms.size();
+      continue;
+    }
+    seg->delta_curr.assign(seg->atoms.begin() + seg->delta_next_mark,
+                           seg->atoms.end());
+    seg->delta_next_mark = seg->atoms.size();
+    delta_curr_size_ += seg->delta_curr.size();
+  }
   return delta_curr_size_;
 }
 
 const std::vector<AtomIndex>& Instance::DeltaAtomsWithPredicate(
     PredicateId pred) const {
-  auto it = delta_curr_.find(pred);
-  return it == delta_curr_.end() ? kEmpty : it->second;
+  if (pred >= segments_.size() || segments_[pred] == nullptr) return kEmpty;
+  return segments_[pred]->delta_curr;
 }
 
 const std::vector<AtomIndex>& Instance::AtomsWithPredicate(
     PredicateId pred) const {
-  auto it = by_predicate_.find(pred);
-  return it == by_predicate_.end() ? kEmpty : it->second;
+  if (pred >= segments_.size() || segments_[pred] == nullptr) return kEmpty;
+  return segments_[pred]->atoms;
 }
 
 const std::vector<AtomIndex>& Instance::AtomsWithTermAt(PredicateId pred,
                                                         std::uint32_t pos,
                                                         Term t) const {
-  auto it = by_position_.find(PosKey{pred, pos, t});
-  return it == by_position_.end() ? kEmpty : it->second;
+  if (pred >= segments_.size() || segments_[pred] == nullptr) return kEmpty;
+  const Segment& seg = *segments_[pred];
+  auto it = seg.by_position.find(PosKey{pos, t});
+  return it == seg.by_position.end() ? kEmpty : it->second;
 }
 
 const std::vector<Term>& Instance::ActiveDomain() const {
   // Catch the cache up over the atoms inserted since the last call;
-  // tuples are walked in insertion order, so first-occurrence order is
-  // deterministic (and extent padding is never visited).
+  // tuples are walked in global insertion order, so first-occurrence
+  // order is deterministic (and extent padding is never visited).
   for (; domain_scanned_ < refs_.size(); ++domain_scanned_) {
     const AtomRef& ref = refs_[domain_scanned_];
-    const Term* tuple = TuplePtr(ref.offset);
+    const Term* tuple = TuplePtr(*segments_[ref.predicate], ref.offset);
     for (std::uint32_t i = 0; i < ref.arity; ++i) {
       if (domain_seen_.insert(tuple[i]).second) {
         domain_.push_back(tuple[i]);

@@ -38,6 +38,7 @@ util::StatusOr<AdvisorReport> Advise(core::SymbolTable* symbols,
       engine.use_delta = options.use_delta;
       engine.use_position_index = options.use_position_index;
       engine.num_threads = options.num_threads;
+      engine.extent_log2 = options.extent_log2;
       engine.deadline_ms = options.deadline_ms;
       engine.cancel = options.cancel;
       engine.observer = options.observer;
@@ -84,6 +85,7 @@ util::StatusOr<AdvisorReport> Advise(core::SymbolTable* symbols,
     chase_options.use_delta = options.use_delta;
     chase_options.use_position_index = options.use_position_index;
     chase_options.num_threads = options.num_threads;
+    chase_options.extent_log2 = options.extent_log2;
     chase_options.deadline_ms = options.deadline_ms;
     chase_options.cancel = options.cancel;
     chase_options.observer = options.observer;

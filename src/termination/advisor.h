@@ -51,6 +51,10 @@ struct AdvisorOptions {
   /// worker per hardware thread, default = sequential unless
   /// NUCHASE_THREADS raises it).
   std::uint32_t num_threads = chase::kNumThreadsDefault;
+  /// Extent geometry for the materializing chases, forwarded likewise
+  /// (see chase::ChaseOptions::extent_log2; 0 = engine default;
+  /// observationally invisible either way).
+  std::uint32_t extent_log2 = 0;
   /// Interruption and observation hooks, likewise forwarded to every
   /// chase the advisor runs. A cancelled materialization surfaces as
   /// ResourceExhausted. None are owned; all must outlive the call.

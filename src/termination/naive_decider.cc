@@ -41,6 +41,7 @@ NaiveDecision DecideByChase(core::SymbolTable* symbols,
   options.use_delta = engine.use_delta;
   options.use_position_index = engine.use_position_index;
   options.num_threads = engine.num_threads;
+  options.extent_log2 = engine.extent_log2;
   options.deadline_ms = engine.deadline_ms;
   options.cancel = engine.cancel;
   options.observer = engine.observer;

@@ -159,10 +159,20 @@ TEST_P(DeltaDiffRandomTest, ParallelThreadsAreByteIdentical) {
       // catch a silent fallback to the serial code.
       EXPECT_EQ(reference.result.stats.parallel_apply_batches, 0u)
           << label;
+      EXPECT_EQ(reference.result.stats.parallel_commit_batches, 0u)
+          << label;
       if (cell.result.stats.triggers_fired +
               cell.result.stats.triggers_satisfied >
           0) {
         EXPECT_GT(cell.result.stats.parallel_apply_batches, 0u) << label;
+      }
+      // Per-predicate segment commits ride the batch-insert path, which
+      // only the semi-oblivious and oblivious variants take (the
+      // restricted variant inserts serially between head re-checks).
+      if (variant == chase::ChaseVariant::kRestricted) {
+        EXPECT_EQ(cell.result.stats.parallel_commit_batches, 0u) << label;
+      } else if (cell.result.stats.triggers_fired > 0) {
+        EXPECT_GT(cell.result.stats.parallel_commit_batches, 0u) << label;
       }
     }
   }
@@ -379,9 +389,71 @@ TEST(DeltaDiffDirectedTest, ApplyOnlyParallelIsByteIdentical) {
       // apply stages ran on the pool.
       EXPECT_EQ(r.stats.parallel_rounds, 0u) << label;
       EXPECT_GT(r.stats.parallel_apply_batches, 0u) << label;
+      // Same split for the per-predicate segment commits: pooled for
+      // the batch-inserting variants, structurally absent (not merely
+      // unpooled) for the restricted one.
+      if (variant == chase::ChaseVariant::kRestricted) {
+        EXPECT_EQ(r.stats.parallel_commit_batches, 0u) << label;
+      } else {
+        EXPECT_GT(r.stats.parallel_commit_batches, 0u) << label;
+      }
     }
     EXPECT_EQ(reference.result.stats.parallel_rounds, 0u);
     EXPECT_EQ(reference.result.stats.parallel_apply_batches, 0u);
+    EXPECT_EQ(reference.result.stats.parallel_commit_batches, 0u);
+  }
+}
+
+/// Extent geometry (and with it the per-predicate segment partition's
+/// internal layout) must be observationally invisible: any legal
+/// extent_log2, at any thread count, reproduces the default geometry's
+/// instance bytes AND its arena_bytes — the counter that would drift
+/// first if a partially-filled extent's tail padding ever leaked into
+/// the accounting (per-predicate segments multiply such tails: every
+/// predicate now has its own). Pins the arena_bytes bugfix
+/// engine/thread/geometry-invariant.
+TEST(DeltaDiffDirectedTest, ArenaBytesAreExtentGeometryInvariant) {
+  for (chase::ChaseVariant variant : kVariants) {
+    chase::ChaseResult reference;
+    std::string reference_sorted;
+    bool have_reference = false;
+    for (std::uint32_t extent_log2 : {0u, 2u, 3u, 7u}) {
+      for (std::uint32_t num_threads : {1u, 4u}) {
+        core::SymbolTable symbols;
+        workload::Workload w = workload::MakeWideDepthFamily(
+            &symbols, /*layers=*/6, /*width=*/4, /*payloads=*/3,
+            /*noise=*/5);
+        chase::ChaseOptions copt;
+        copt.variant = variant;
+        copt.max_atoms = 3000;
+        copt.num_threads = num_threads;
+        copt.extent_log2 = extent_log2;
+        chase::ChaseResult r = chase::RunChase(&symbols, w.tgds,
+                                               w.database, copt);
+        std::string label =
+            std::string(chase::ChaseVariantName(variant)) +
+            " extent_log2=" + std::to_string(extent_log2) +
+            " threads=" + std::to_string(num_threads);
+        std::string sorted = r.instance.ToSortedString(symbols);
+        if (!have_reference) {
+          ASSERT_GT(r.stats.arena_bytes, 0u) << label;
+          reference = std::move(r);
+          reference_sorted = std::move(sorted);
+          have_reference = true;
+          continue;
+        }
+        EXPECT_EQ(r.outcome, reference.outcome) << label;
+        EXPECT_EQ(sorted, reference_sorted) << label;
+        EXPECT_EQ(r.stats.arena_bytes, reference.stats.arena_bytes)
+            << label;
+        EXPECT_EQ(r.stats.peak_atoms, reference.stats.peak_atoms)
+            << label;
+        EXPECT_EQ(r.stats.triggers_fired, reference.stats.triggers_fired)
+            << label;
+        EXPECT_EQ(r.stats.join_probes, reference.stats.join_probes)
+            << label;
+      }
+    }
   }
 }
 

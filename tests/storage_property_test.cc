@@ -192,6 +192,33 @@ TEST_P(StorageFuzz, ArenaAgreesWithNaiveReference) {
   EXPECT_EQ(inst.ActiveDomain(), ref.Domain());
   EXPECT_EQ(inst.ToSortedString(symbols), ref.ToSortedString(symbols));
 
+  // Per-predicate views over the segmented layout: each predicate's
+  // index list must be the reference sequence filtered to it (global
+  // indexes, insertion order — the cross-predicate interleaving is
+  // exactly what the per-segment atom lists must reconstruct), and the
+  // per-position join index must agree tuple-for-tuple.
+  for (PredicateId pred : preds) {
+    std::vector<AtomIndex> want_idx;
+    for (std::size_t i = 0; i < ref.atoms.size(); ++i) {
+      if (ref.atoms[i].predicate == pred) {
+        want_idx.push_back(static_cast<AtomIndex>(i));
+      }
+    }
+    EXPECT_EQ(inst.AtomsWithPredicate(pred), want_idx);
+    if (!want_idx.empty()) {
+      EXPECT_EQ(inst.PredicateArity(pred), symbols.arity(pred));
+    }
+    for (std::uint32_t pos = 0; pos < symbols.arity(pred); ++pos) {
+      for (Term t : pool) {
+        std::vector<AtomIndex> want_at;
+        for (AtomIndex i : want_idx) {
+          if (ref.atoms[i].args[pos] == t) want_at.push_back(i);
+        }
+        EXPECT_EQ(inst.AtomsWithTermAt(pred, pos, t), want_at);
+      }
+    }
+  }
+
   // Views obtained before further growth stay valid (the arena is
   // resolved through the vector object, offsets never move).
   if (!inst.empty()) {
@@ -322,6 +349,21 @@ TEST_P(BatchFuzz, BatchInsertAgreesWithSerialLoop) {
   EXPECT_EQ(batched.ActiveDomain(), serial.ActiveDomain());
   EXPECT_EQ(batched.ToSortedString(symbols), serial.ToSortedString(symbols));
   EXPECT_EQ(batched.ToSortedString(symbols), ref.ToSortedString(symbols));
+  // The parallel per-predicate commits must leave every segment-derived
+  // view — per-predicate lists, recorded arities, the per-position join
+  // index — identical to the serial loop's, not merely the same global
+  // directory.
+  for (PredicateId pred : preds) {
+    EXPECT_EQ(batched.AtomsWithPredicate(pred),
+              serial.AtomsWithPredicate(pred));
+    EXPECT_EQ(batched.PredicateArity(pred), serial.PredicateArity(pred));
+    for (std::uint32_t pos = 0; pos < symbols.arity(pred); ++pos) {
+      for (Term t : terms_pool) {
+        EXPECT_EQ(batched.AtomsWithTermAt(pred, pos, t),
+                  serial.AtomsWithTermAt(pred, pos, t));
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchFuzz,
@@ -365,6 +407,74 @@ TEST(StorageExtents, BoundaryPaddingIsInvisible) {
   EXPECT_EQ(found, i1);
   EXPECT_EQ(inst.atom(i1).arg(2), a);
   EXPECT_EQ(inst.atom(zi).arity(), 0u);
+}
+
+/// An early-stopped merge must leave every segment exactly as if the
+/// vetoed tail had never been offered — even though per-predicate
+/// commits land segment-side (in parallel) before the serial merge
+/// walks the batch. Covers both rollback shapes: a predicate whose
+/// FIRST atom sat in the vetoed tail (its whole segment unwinds, arity
+/// included) and a predicate keeping earlier atoms (only its raw tail
+/// truncates).
+TEST(StorageExtents, EarlyStopRollsBackSegments) {
+  SymbolTable symbols;
+  PredicateId p = *symbols.InternPredicate("P", 2);
+  PredicateId q = *symbols.InternPredicate("Q", 3);
+  Term a = *symbols.InternConstant("a");
+  Term b = *symbols.InternConstant("b");
+  Term c = *symbols.InternConstant("c");
+
+  util::ThreadPool pool(3);
+  Instance inst(/*extent_log2=*/2);
+  std::vector<Term> seeded{a, b};
+  auto [i0, f0] = inst.InsertTuple(p, TermSpan(seeded));
+  ASSERT_TRUE(f0);
+
+  // Batch: P(b,c), Q(a,b,c), P(c,a) — all fresh. Stop after the first
+  // merge callback: Q's first-ever atom and P's second batch atom are
+  // vetoed after their segments committed them.
+  std::vector<Term> buffer{b, c, a, b, c, c, a};
+  std::vector<BatchTuple> tuples(3);
+  tuples[0] = {p, 0, 2};
+  tuples[1] = {q, 2, 3};
+  tuples[2] = {p, 5, 2};
+  std::size_t merged = inst.InsertTupleBatch(
+      buffer.data(), tuples, &pool,
+      [&](std::size_t pos, AtomIndex idx, bool fresh) {
+        EXPECT_EQ(pos, 0u);
+        EXPECT_EQ(idx, 1u);
+        EXPECT_TRUE(fresh);
+        return false;  // veto everything after P(b,c)
+      });
+  EXPECT_EQ(merged, 1u);
+
+  // Observable state: two P atoms, nothing else. Accounting is exact
+  // (no phantom terms from the unwound commits), Q reverts to unseen,
+  // and the vetoed tuples are genuinely absent, not tombstoned.
+  EXPECT_EQ(inst.size(), 2u);
+  EXPECT_EQ(inst.arena_terms(), 4u);
+  EXPECT_EQ(inst.arena_bytes(), 4 * sizeof(Term));
+  EXPECT_TRUE(inst.AtomsWithPredicate(q).empty());
+  EXPECT_EQ(inst.PredicateArity(q), 0u);
+  std::vector<Term> qt{a, b, c};
+  std::vector<Term> pt{c, a};
+  EXPECT_FALSE(inst.ContainsTuple(q, TermSpan(qt)));
+  EXPECT_FALSE(inst.ContainsTuple(p, TermSpan(pt)));
+
+  // Re-offering the vetoed tuples behaves as a first offer: fresh
+  // inserts, contiguous global indexes, arity recorded anew.
+  auto [qi, qf] = inst.InsertTuple(q, TermSpan(qt));
+  EXPECT_TRUE(qf);
+  EXPECT_EQ(qi, 2u);
+  auto [pi, pf] = inst.InsertTuple(p, TermSpan(pt));
+  EXPECT_TRUE(pf);
+  EXPECT_EQ(pi, 3u);
+  EXPECT_EQ(inst.PredicateArity(q), 3u);
+  EXPECT_EQ(inst.arena_terms(), 9u);
+  EXPECT_EQ(inst.atom(i0).arg(0), a);
+  EXPECT_EQ(inst.atom(qi).arg(2), c);
+  EXPECT_EQ(inst.AtomsWithPredicate(p),
+            (std::vector<AtomIndex>{0, 1, 3}));
 }
 
 }  // namespace

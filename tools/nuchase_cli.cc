@@ -62,6 +62,11 @@ int Usage(const char* argv0) {
                "                    0 = one per hardware thread); "
                "results are\n"
                "                    byte-identical for every N\n"
+               "  --extent-log2=N   log2 of the instance extent size "
+               "in terms,\n"
+               "                    N in [2, 24] (tuning only; results "
+               "are\n"
+               "                    byte-identical for every N)\n"
                "  --print           also print the materialized atoms\n"
                "  --no-reliances    schedule every rule alone (ablation; "
                "results\n"
@@ -181,6 +186,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
         return false;
       }
       out->session.num_threads = static_cast<std::uint32_t>(n);
+    } else if (arg.rfind("--extent-log2=", 0) == 0) {
+      // Range-capped: below 2 an extent cannot hold one wide tuple's
+      // worth of growth granularity, above 24 a single extent is 64M
+      // terms — both are certainly typos, not tuning. One message for
+      // every failure mode (garbage, overflow, out of range), so the
+      // wrapper's generic [0, max] text cannot misstate the floor.
+      unsigned long long n = 0;
+      if (!util::ParseCount(arg.c_str() + 14, 24, &n) || n < 2) {
+        std::fprintf(stderr,
+                     "--extent-log2 expects an integer in [2, 24], "
+                     "got '%s'\n", arg.c_str() + 14);
+        return false;
+      }
+      out->session.extent_log2 = static_cast<std::uint32_t>(n);
     } else if (arg.rfind("--mode=", 0) == 0) {
       out->mode = arg.substr(7);
     } else if (arg.rfind("--", 0) == 0) {
