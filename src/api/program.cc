@@ -5,9 +5,22 @@
 
 #include "termination/bounds.h"
 #include "tgd/parser.h"
+#include "tgd/printer.h"
+#include "util/hash.h"
 
 namespace nuchase {
 namespace api {
+
+// FNV-1a over the program bytes, finalized through Mix64 so the low
+// bits (a power-of-two cache indexes by them) carry the whole text.
+std::uint64_t ContentHash(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return util::Mix64(h);
+}
 
 util::StatusOr<Program> Program::Parse(const std::string& text) {
   auto analysis = std::make_shared<Analysis>();
@@ -15,6 +28,7 @@ util::StatusOr<Program> Program::Parse(const std::string& text) {
   if (!parsed.ok()) return parsed.status();
   analysis->tgds = std::move(parsed->tgds);
   analysis->database = std::move(parsed->database);
+  analysis->content_hash = ContentHash(text);
   return Analyze(std::move(analysis));
 }
 
@@ -46,6 +60,10 @@ util::StatusOr<Program> Program::Create(core::SymbolTable symbols,
           "TGD references a predicate missing from the symbol table");
     }
   }
+  // No source text exists for assembled parts: hash the canonical
+  // rendering, so two Creates of equal programs still agree.
+  analysis->content_hash = ContentHash(tgd::ProgramToString(
+      analysis->tgds, analysis->database, analysis->symbols));
   return Analyze(std::move(analysis));
 }
 

@@ -2,6 +2,7 @@
 #define NUCHASE_API_PROGRAM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -20,6 +21,12 @@
 
 namespace nuchase {
 namespace api {
+
+/// The content hash Program::Parse stamps on its artifact: FNV-1a over
+/// the exact text bytes, finalized through util::Mix64. Exposed so a
+/// cache can hash a submission before deciding whether to parse it —
+/// ContentHash(text) == Program::Parse(text)->content_hash() always.
+std::uint64_t ContentHash(const std::string& text);
 
 /// An immutable, analyzed program artifact — the parse-once half of the
 /// facade's parse-once / run-many split.
@@ -103,6 +110,22 @@ class Program {
   std::size_t rule_count() const { return a_->tgds.size(); }
   std::size_t fact_count() const { return a_->database.size(); }
 
+  /// 64-bit content hash of the program text: for Parse, FNV-1a over
+  /// the exact input bytes (finalized through util::Mix64); for Create,
+  /// over the canonical tgd::ProgramToString rendering. Two Programs
+  /// parsed from byte-identical text always agree, which is what lets a
+  /// serving cache (server::ProgramCache) key parsed artifacts by hash
+  /// and share one frozen Program across every request that submitted
+  /// the same rules — hash equality is a fast-path filter, not an
+  /// identity proof, so cache lookups must still compare the text.
+  std::uint64_t content_hash() const { return a_->content_hash; }
+
+  /// How many live handles (Programs, Sessions via their Program copy,
+  /// ChaseRuns, cache entries) share this frozen analysis right now —
+  /// the reuse-audit counter: a parse-once cache is working when
+  /// repeated submissions raise this instead of the parse count.
+  long shared_use_count() const { return a_.use_count(); }
+
   /// Looks up a predicate by name (NotFound when absent) — the read-only
   /// lookup callers need to build queries against the program's schema.
   util::StatusOr<core::PredicateId> FindPredicate(
@@ -120,6 +143,7 @@ class Program {
     std::unique_ptr<const graph::RelianceGraph> reliances;
     double depth_bound = 0;
     double size_factor = 0;
+    std::uint64_t content_hash = 0;
     std::vector<analysis::Diagnostic> diagnostics;
 
     // Memoized heavy artifacts: computed at most once per Program, on

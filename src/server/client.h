@@ -1,0 +1,64 @@
+#ifndef NUCHASE_SERVER_CLIENT_H_
+#define NUCHASE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace nuchase {
+namespace server {
+
+/// A blocking protocol client over one TCP connection to a
+/// nuchase_server — the consumer half the load generator, the server
+/// bench and the smoke test share, so "how a well-behaved client reads
+/// the wire" is written down exactly once. Single-threaded: one Client
+/// per driving thread.
+class Client {
+ public:
+  /// Connects to 127.0.0.1:port.
+  static util::StatusOr<Client> Connect(int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one already-serialized frame line.
+  util::Status Send(const std::string& line);
+
+  /// Reads and parses the next response frame. InvalidArgument on a
+  /// line that is not a well-formed response frame (a protocol error —
+  /// the harnesses count these and demand zero); NotFound on EOF.
+  util::StatusOr<ResponseFrame> ReadFrame();
+
+  /// One closed-loop chase: sends the request and reads frames until
+  /// its terminal frame arrives. Event and ack frames for this id are
+  /// counted and absorbed; any frame for another id is a protocol error
+  /// (this helper is for one-request-at-a-time clients).
+  struct ChaseOutcome {
+    bool ok = false;      ///< Terminal frame was a result, not an error.
+    ResultFrame result;   ///< Meaningful when ok.
+    ErrorFrame error;     ///< Meaningful when !ok.
+    bool acked = false;
+    std::uint64_t events = 0;
+  };
+  util::StatusOr<ChaseOutcome> RunChase(const ChaseRequest& request);
+
+  /// Sends a stats request and reads the stats frame.
+  util::StatusOr<StatsFrame> Stats();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace server
+}  // namespace nuchase
+
+#endif  // NUCHASE_SERVER_CLIENT_H_

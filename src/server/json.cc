@@ -1,0 +1,297 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace nuchase {
+namespace server {
+
+namespace {
+
+/// Nesting cap: a frame is one object with one level of options inside,
+/// so 32 is an order of magnitude of headroom while keeping the
+/// recursive-descent parser's stack use bounded on adversarial input
+/// ("[[[[[..." would otherwise recurse once per byte).
+constexpr int kMaxDepth = 32;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  util::StatusOr<JsonValue> Parse() {
+    SkipSpace();
+    auto value = ParseValue(0);
+    if (!value.ok()) return value.status();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing garbage after the JSON value");
+    }
+    return value;
+  }
+
+ private:
+  util::Status Error(const std::string& what) const {
+    return util::Status::InvalidArgument(
+        "json offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\r' && c != '\n') break;
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    std::size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  util::StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (!Literal("null")) return Error("bad literal");
+        return JsonValue::Null();
+      case 't':
+        if (!Literal("true")) return Error("bad literal");
+        return JsonValue::Bool(true);
+      case 'f':
+        if (!Literal("false")) return Error("bad literal");
+        return JsonValue::Bool(false);
+      case '"':
+        return ParseString();
+      case '[':
+        return ParseArray(depth);
+      case '{':
+        return ParseObject(depth);
+      default:
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+          return ParseNumber();
+        }
+        return Error(c == '-' || c == '+' || c == '.'
+                         ? "numbers are unsigned base-10 integers only"
+                         : "unexpected character");
+    }
+  }
+
+  util::StatusOr<JsonValue> ParseNumber() {
+    std::uint64_t n = 0;
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      std::uint64_t digit =
+          static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (n > (0xffffffffffffffffULL - digit) / 10) {
+        return Error("integer overflows 64 bits");
+      }
+      n = n * 10 + digit;
+      ++pos_;
+    }
+    if (pos_ > start + 1 && text_[start] == '0') {
+      return Error("leading zero");
+    }
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      return Error("numbers are unsigned base-10 integers only");
+    }
+    return JsonValue::Number(n);
+  }
+
+  util::StatusOr<JsonValue> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return JsonValue::String(std::move(out));
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // The protocol's own serializer only emits \u00XX for control
+          // bytes; decode the BMP in UTF-8 so foreign producers work.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+  }
+
+  util::StatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue out = JsonValue::MakeArray();
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      SkipSpace();
+      auto element = ParseValue(depth + 1);
+      if (!element.ok()) return element.status();
+      out.mutable_array()->push_back(std::move(*element));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Error("unterminated array");
+      char c = text_[pos_++];
+      if (c == ']') return out;
+      if (c != ',') return Error("expected ',' or ']'");
+    }
+  }
+
+  util::StatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue out = JsonValue::MakeObject();
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected a member name");
+      }
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      if (out.Find(key->string()) != nullptr) {
+        return Error("duplicate member '" + key->string() + "'");
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_++] != ':') {
+        return Error("expected ':'");
+      }
+      SkipSpace();
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      out.mutable_object()->emplace_back(key->string(),
+                                         std::move(*value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Error("unterminated object");
+      char c = text_[pos_++];
+      if (c == '}') return out;
+      if (c != ',') return Error("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull:
+      out = "null";
+      break;
+    case Kind::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      out = std::to_string(number_);
+      break;
+    case Kind::kString:
+      AppendJsonString(&out, string_);
+      break;
+    case Kind::kArray: {
+      out = "[";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ",";
+        out += array_[i].Serialize();
+      }
+      out += "]";
+      break;
+    }
+    case Kind::kObject: {
+      out = "{";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ",";
+        AppendJsonString(&out, object_[i].first);
+        out += ":";
+        out += object_[i].second.Serialize();
+      }
+      out += "}";
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace server
+}  // namespace nuchase

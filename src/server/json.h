@@ -1,0 +1,110 @@
+#ifndef NUCHASE_SERVER_JSON_H_
+#define NUCHASE_SERVER_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nuchase {
+namespace server {
+
+/// A parsed JSON value — the wire representation of every protocol
+/// frame (one JSON object per newline-delimited line).
+///
+/// The grammar is deliberately a strict subset of JSON: numbers are
+/// unsigned base-10 integers only (the protocol never carries floats,
+/// signs or exponents, and every budget field is a count), objects keep
+/// their key order (serde round-trips byte-identically), and the parser
+/// enforces a nesting-depth cap so adversarial input cannot exhaust the
+/// reader thread's stack. Everything else — escapes, whitespace,
+/// null/true/false, arrays — is standard.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Ordered key/value members; duplicate keys are a parse error.
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+  using Array = std::vector<JsonValue>;
+
+  JsonValue() = default;
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(std::uint64_t n) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = n;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue MakeArray() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue MakeObject() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  bool bool_value() const { return bool_; }
+  std::uint64_t number() const { return number_; }
+  const std::string& string() const { return string_; }
+  const Array& array() const { return array_; }
+  const Object& object() const { return object_; }
+  Array* mutable_array() { return &array_; }
+  Object* mutable_object() { return &object_; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    for (const auto& member : object_) {
+      if (member.first == key) return &member.second;
+    }
+    return nullptr;
+  }
+
+  /// Serializes back to one line (no newline). Objects and arrays keep
+  /// insertion order, so Parse(Serialize(v)) == v member for member.
+  std::string Serialize() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::uint64_t number_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses exactly one JSON value spanning the whole input: leading and
+/// trailing whitespace is fine, trailing garbage is not. Errors are
+/// InvalidArgument with a byte offset ("json offset 12: ...").
+util::StatusOr<JsonValue> ParseJson(const std::string& text);
+
+/// Appends `s` as a quoted, escaped JSON string literal.
+void AppendJsonString(std::string* out, const std::string& s);
+
+}  // namespace server
+}  // namespace nuchase
+
+#endif  // NUCHASE_SERVER_JSON_H_

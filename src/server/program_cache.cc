@@ -1,0 +1,65 @@
+#include "server/program_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace nuchase {
+namespace server {
+
+ProgramCache::ProgramCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+util::StatusOr<ProgramCache::Lookup> ProgramCache::GetOrParse(
+    const std::string& rules) {
+  const std::uint64_t hash = api::ContentHash(rules);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(hash);
+    if (it != index_.end() && it->second->text == rules) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      return Lookup{it->second->program, true};
+    }
+    ++stats_.misses;
+  }
+
+  // Parse outside the lock: a large program must not serialize every
+  // other worker's cache hit behind it.
+  auto program = api::Program::Parse(rules);
+  if (!program.ok()) return program.status();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.parses;
+  auto it = index_.find(hash);
+  if (it != index_.end() && it->second->text == rules) {
+    // A concurrent miss beat us to the insert; serve the incumbent so
+    // every request for this text shares one frozen artifact.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return Lookup{it->second->program, false};
+  }
+  if (it != index_.end()) {
+    // Same 64-bit hash, different text: the old entry loses its index
+    // slot (one hash, one slot); drop it outright.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{hash, rules, *program});
+  index_[hash] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().hash);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return Lookup{std::move(*program), false};
+}
+
+ProgramCache::Stats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace server
+}  // namespace nuchase

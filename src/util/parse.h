@@ -3,6 +3,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace nuchase {
@@ -28,6 +29,30 @@ inline bool ParseCount(const char* value, unsigned long long max,
   char* end = nullptr;
   unsigned long long n = std::strtoull(value, &end, 10);
   if (*end != '\0' || errno == ERANGE || n > max) return false;
+  *out = n;
+  return true;
+}
+
+/// ParseCount for a command-line flag, with the one shared rejection
+/// message every binary prints: strict parse into [min, max], and on
+/// any failure — garbage, sign, whitespace, trailing suffix, overflow,
+/// out of range — a loud
+///   "<flag> expects an integer in [<min>, <max>], got '<value>'"
+/// on stderr. Callers return usage (exit 2) on false. One helper for
+/// every strict numeric flag in every tool (nuchase, nuchase_lint,
+/// nuchase_server, nuchase_loadgen), so what counts as a number — and
+/// what a rejection looks like — cannot drift between binaries: a flag
+/// that hand-rolls its parse is exactly how "--port=80x" comes to be
+/// accepted by one tool and rejected by its siblings.
+inline bool ParseCountFlag(const char* flag, const char* value,
+                           unsigned long long min, unsigned long long max,
+                           unsigned long long* out) {
+  unsigned long long n = 0;
+  if (!ParseCount(value, max, &n) || n < min) {
+    std::fprintf(stderr, "%s expects an integer in [%llu, %llu], got "
+                 "'%s'\n", flag, min, max, value == nullptr ? "" : value);
+    return false;
+  }
   *out = n;
   return true;
 }

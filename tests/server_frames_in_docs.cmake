@@ -1,0 +1,59 @@
+# Wire-catalog / docs cross-check, run via
+#   cmake -DNUCHASE_SERVER=<exe> -DREPO_DIR=<src> -P server_frames_in_docs.cmake
+# Every frame and error code the daemon can put on the wire
+# (nuchase_server --list-frames, which prints server::FrameCatalog)
+# must be documented in docs/server.md as a backticked name. Adding a
+# frame or an error code without documenting it fails this test; the
+# catalog is append-only, so names never vanish either (mirrors
+# lint_ids_in_docs.cmake for the diagnostic catalog).
+
+if(NOT NUCHASE_SERVER OR NOT REPO_DIR)
+  message(FATAL_ERROR "NUCHASE_SERVER and REPO_DIR must be set")
+endif()
+
+execute_process(
+    COMMAND "${NUCHASE_SERVER}" --list-frames
+    OUTPUT_VARIABLE listing
+    ERROR_VARIABLE stderr
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "nuchase_server --list-frames exited ${rc}:\n${listing}\n${stderr}")
+endif()
+
+file(READ "${REPO_DIR}/docs/server.md" docs)
+
+# Catalog lines are "<kind> <name> <summary>"; collect the names.
+set(names "")
+string(REGEX REPLACE "\n" ";" lines "${listing}")
+foreach(line IN LISTS lines)
+  if(line MATCHES "^(request|response|error-code) +([a-z-]+) ")
+    list(APPEND names "${CMAKE_MATCH_2}")
+  endif()
+endforeach()
+list(REMOVE_DUPLICATES names)
+list(LENGTH names num_names)
+if(num_names LESS 21)
+  message(FATAL_ERROR
+      "--list-frames printed only ${num_names} distinct names; the "
+      "catalog starts at 21 (4 requests + 6 responses + 13 error codes, "
+      "'stats' doubling as request and response) and is append-only:\n"
+      "${listing}")
+endif()
+
+set(missing "")
+foreach(name IN LISTS names)
+  string(FIND "${docs}" "`${name}`" pos)
+  if(pos EQUAL -1)
+    list(APPEND missing "${name}")
+  endif()
+endforeach()
+if(missing)
+  message(FATAL_ERROR
+      "frame/error-code names emitted by nuchase_server --list-frames "
+      "but not documented in docs/server.md: ${missing}\n"
+      "Add a section or an error-table row with the backticked name.")
+endif()
+
+message(STATUS
+    "server_frames_in_docs: all ${num_names} catalog names documented")

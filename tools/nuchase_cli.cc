@@ -89,23 +89,6 @@ int Usage(const char* argv0) {
   return 2;
 }
 
-/// Strict parse of a numeric flag value via util::ParseCount: the whole
-/// string must be a base-10 unsigned integer no larger than `max`.
-/// Anything else — empty value, sign, whitespace, trailing garbage,
-/// overflow — errors out loudly. (strtoull with a discarded end pointer
-/// would instead read "--max-rounds=abc" as 0 and silently run with a
-/// zeroed budget.)
-bool ParseCount(const char* flag, const char* value,
-                unsigned long long max, unsigned long long* out) {
-  if (!util::ParseCount(value, max, out)) {
-    std::fprintf(stderr,
-                 "%s expects an integer in [0, %llu], got '%s'\n", flag,
-                 max, value);
-    return false;
-  }
-  return true;
-}
-
 struct CliOptions {
   std::string command;
   std::string file;
@@ -151,29 +134,29 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       }
     } else if (arg.rfind("--max-atoms=", 0) == 0) {
       unsigned long long n = 0;
-      if (!ParseCount("--max-atoms", arg.c_str() + 12,
-                      0xffffffffffffffffull, &n)) {
+      if (!util::ParseCountFlag("--max-atoms", arg.c_str() + 12, 0,
+                                0xffffffffffffffffull, &n)) {
         return false;
       }
       out->session.max_atoms = n;
     } else if (arg.rfind("--max-depth=", 0) == 0) {
       unsigned long long n = 0;
-      if (!ParseCount("--max-depth", arg.c_str() + 12, 0xffffffffull,
-                      &n)) {
+      if (!util::ParseCountFlag("--max-depth", arg.c_str() + 12, 0,
+                                0xffffffffull, &n)) {
         return false;
       }
       out->session.max_depth = static_cast<std::uint32_t>(n);
     } else if (arg.rfind("--max-rounds=", 0) == 0) {
       unsigned long long n = 0;
-      if (!ParseCount("--max-rounds", arg.c_str() + 13,
-                      0xffffffffffffffffull, &n)) {
+      if (!util::ParseCountFlag("--max-rounds", arg.c_str() + 13, 0,
+                                0xffffffffffffffffull, &n)) {
         return false;
       }
       out->session.max_rounds = n;
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       unsigned long long n = 0;
-      if (!ParseCount("--deadline-ms", arg.c_str() + 14,
-                      0xffffffffffffffffull, &n)) {
+      if (!util::ParseCountFlag("--deadline-ms", arg.c_str() + 14, 0,
+                                0xffffffffffffffffull, &n)) {
         return false;
       }
       out->session.deadline_ms = n;
@@ -182,21 +165,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       // garbage must error rather than fall through to the most
       // aggressive value.
       unsigned long long n = 0;
-      if (!ParseCount("--threads", arg.c_str() + 10, 256, &n)) {
+      if (!util::ParseCountFlag("--threads", arg.c_str() + 10, 0, 256,
+                                &n)) {
         return false;
       }
       out->session.num_threads = static_cast<std::uint32_t>(n);
     } else if (arg.rfind("--extent-log2=", 0) == 0) {
       // Range-capped: below 2 an extent cannot hold one wide tuple's
       // worth of growth granularity, above 24 a single extent is 64M
-      // terms — both are certainly typos, not tuning. One message for
-      // every failure mode (garbage, overflow, out of range), so the
-      // wrapper's generic [0, max] text cannot misstate the floor.
+      // terms — both are certainly typos, not tuning.
       unsigned long long n = 0;
-      if (!util::ParseCount(arg.c_str() + 14, 24, &n) || n < 2) {
-        std::fprintf(stderr,
-                     "--extent-log2 expects an integer in [2, 24], "
-                     "got '%s'\n", arg.c_str() + 14);
+      if (!util::ParseCountFlag("--extent-log2", arg.c_str() + 14, 2, 24,
+                                &n)) {
         return false;
       }
       out->session.extent_log2 = static_cast<std::uint32_t>(n);

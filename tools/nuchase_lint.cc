@@ -78,11 +78,8 @@ bool ParseArgs(int argc, char** argv, LintOptions* out) {
       }
     } else if (arg.rfind("--threads=", 0) == 0) {
       unsigned long long n = 0;
-      if (!util::ParseCount(arg.c_str() + 10, 256, &n)) {
-        std::fprintf(stderr,
-                     "--threads expects an integer in [0, 256], got "
-                     "'%s'\n",
-                     arg.c_str() + 10);
+      if (!util::ParseCountFlag("--threads", arg.c_str() + 10, 0, 256,
+                                &n)) {
         return false;
       }
       out->num_threads = static_cast<std::uint32_t>(n);
